@@ -1,0 +1,586 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark regenerates its table/figure once
+// (visible with -v via b.Log) and measures the computational kernel that
+// produces it.
+//
+//	go test -bench=. -benchmem
+//
+// The benches run on a compact D2-like world built once per process; the
+// full-scale numbers recorded in EXPERIMENTS.md come from
+// cmd/l2rexp -scale full.
+package repro_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/ch"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exp"
+	"repro/internal/geo"
+	"repro/internal/mapmatch"
+	"repro/internal/pref"
+	"repro/internal/region"
+	"repro/internal/roadnet"
+	"repro/internal/route"
+	"repro/internal/sparse"
+	"repro/internal/spatial"
+	"repro/internal/splice"
+	"repro/internal/traj"
+	"repro/internal/transfer"
+)
+
+// benchIndex and benchMatcher build the spatial index and map matcher
+// for the bench world.
+func benchIndex(w *exp.World) *spatial.Index {
+	return spatial.NewIndex(w.Road, 300)
+}
+
+func benchMatcher(w *exp.World, idx *spatial.Index) *mapmatch.Matcher {
+	return mapmatch.NewMatcher(w.Road, idx, mapmatch.Config{SigmaM: 15})
+}
+
+var (
+	worldOnce sync.Once
+	benchW    *exp.World
+)
+
+// benchWorld lazily builds the shared compact world.
+func benchWorld(b *testing.B) *exp.World {
+	b.Helper()
+	worldOnce.Do(func() {
+		road := roadnet.Generate(roadnet.Tiny(5))
+		cfg := traj.D2Like(5, 600)
+		benchW = exp.NewCustom("bench", road, cfg, []float64{1, 2, 4, 10}, exp.Config{Seed: 5})
+	})
+	return benchW
+}
+
+// --- Table II ------------------------------------------------------------
+
+func BenchmarkTableII(b *testing.B) {
+	w := benchWorld(b)
+	b.Log(exp.TableII(w))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traj.DistanceHistogram(w.Road, w.All, w.BucketsKm)
+	}
+}
+
+// --- Table IV ------------------------------------------------------------
+
+func BenchmarkTableIV(b *testing.B) {
+	w := benchWorld(b)
+	w.MustRouter()
+	b.Log(exp.TableIV(w))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableIVData(w, []float64{2, 5, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 6(a): preference learning --------------------------------------
+
+func BenchmarkFig6a(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	b.Log(exp.Fig6a(w))
+	// Kernel: learning one T-edge's preference from its path set.
+	var paths []roadnet.Path
+	rg := r.RegionGraph()
+	for _, e := range rg.Edges {
+		if e.Kind == region.TEdge && len(e.PathsFwd) > 0 {
+			for _, pi := range e.PathsFwd {
+				paths = append(paths, pi.Path)
+			}
+			break
+		}
+	}
+	if len(paths) == 0 {
+		b.Skip("no T-edge path sets")
+	}
+	learner := pref.NewLearner(w.Road)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		learner.Learn(paths)
+	}
+}
+
+// --- Fig. 6(b): region-edge similarity -----------------------------------
+
+func BenchmarkFig6b(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	b.Log(exp.Fig6b(w))
+	rg := r.RegionGraph()
+	if len(rg.Edges) < 2 {
+		b.Skip("not enough region edges")
+	}
+	fa := transfer.EdgeFeatures(rg, rg.Edges[0])
+	fb := transfer.EdgeFeatures(rg, rg.Edges[1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transfer.ReSim(fa, fb)
+	}
+}
+
+// --- Fig. 9(a)/(b): preference transfer ----------------------------------
+
+func BenchmarkFig9a(b *testing.B) {
+	w := benchWorld(b)
+	w.MustRouter()
+	b.Log(exp.Fig9a(w))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9aCompute(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9b(b *testing.B) {
+	w := benchWorld(b)
+	w.MustRouter()
+	b.Log(exp.Fig9b(w))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9bCompute(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 10/11: accuracy ------------------------------------------------
+
+// benchQueries returns the evaluation queries of the bench world.
+func benchQueries(b *testing.B) []eval.Query {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	qs := eval.QueriesFrom(w.Road, r, w.Test)
+	if len(qs) == 0 {
+		b.Skip("no queries")
+	}
+	return qs
+}
+
+func BenchmarkFig10(b *testing.B) {
+	w := benchWorld(b)
+	b.Log(exp.Fig10(w))
+	r := w.MustRouter()
+	qs := benchQueries(b)
+	alg := eval.WrapL2R(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		path := alg.Route(q.Query)
+		pref.SimEq1(w.Road, q.GT, path)
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	w := benchWorld(b)
+	b.Log(exp.Fig11(w))
+	r := w.MustRouter()
+	qs := benchQueries(b)
+	alg := eval.WrapL2R(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		path := alg.Route(q.Query)
+		pref.SimEq4(w.Road, q.GT, path)
+	}
+}
+
+// --- Fig. 12: online run time, one sub-bench per algorithm ----------------
+
+func BenchmarkFig12(b *testing.B) {
+	w := benchWorld(b)
+	b.Log(exp.Fig12(w))
+	r := w.MustRouter()
+	qs := benchQueries(b)
+	algs := []eval.Algorithm{
+		eval.WrapL2R(r),
+		baseline.NewShortest(w.Road),
+		baseline.NewFastest(w.Road),
+		baseline.NewDom(w.Road, w.Train, 3),
+		baseline.NewTRIP(w.Road, w.Train),
+	}
+	for _, alg := range algs {
+		alg := alg
+		b.Run(alg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				alg.Route(qs[i%len(qs)].Query)
+			}
+		})
+	}
+}
+
+// --- Fig. 13: web-service comparison --------------------------------------
+
+func BenchmarkFig13(b *testing.B) {
+	w := benchWorld(b)
+	b.Log(exp.Fig13(w))
+	qs := benchQueries(b)
+	ws := baseline.NewWebService(w.Road)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		wps := ws.Directions(q.S, q.D)
+		geo.MatchBand(q.GT.Polyline(w.Road), wps, 10)
+	}
+}
+
+// --- Offline phase --------------------------------------------------------
+
+func BenchmarkOffline(b *testing.B) {
+	w := benchWorld(b)
+	b.Log(exp.Offline(w))
+	// Kernel: the clustering + region-graph phase over the training
+	// paths (the full build is benchmarked end to end by the ablations
+	// below at smaller scale).
+	paths := make([]roadnet.Path, 0, len(w.Train))
+	for _, t := range w.Train {
+		paths = append(paths, t.Truth)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg := cluster.BuildTrajectoryGraph(w.Road, paths)
+		regions := cluster.Cluster(tg, cluster.Options{})
+		rg := region.Build(w.Road, regions, paths, region.Options{})
+		rg.ConnectBFS()
+	}
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkAblationSolver compares the two Eq. 3 solvers the paper cites.
+func BenchmarkAblationSolver(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	rg := r.RegionGraph()
+	var labeled []transfer.Labeled
+	var targets []int
+	for _, e := range rg.Edges {
+		if e.Kind == region.TEdge && e.HasPref {
+			labeled = append(labeled, transfer.Labeled{EdgeID: e.ID, Pref: e.Pref})
+		} else {
+			targets = append(targets, e.ID)
+		}
+	}
+	if len(labeled) == 0 || len(targets) == 0 {
+		b.Skip("degenerate region graph")
+	}
+	for _, solver := range []struct {
+		name string
+		s    transfer.Solver
+	}{{"CG", transfer.CG}, {"Jacobi", transfer.Jacobi}, {"GaussSeidel", transfer.GaussSeidel}} {
+		solver := solver
+		b.Run(solver.name, func(b *testing.B) {
+			cfg := transfer.DefaultConfig()
+			cfg.Solver = solver.s
+			if solver.s != transfer.CG {
+				cfg.MaxIter = 20000
+			}
+			for i := 0; i < b.N; i++ {
+				transfer.Run(rg, labeled, targets, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationClusterRoadType compares modularity clustering with
+// and without the road-type constraint of Table I.
+func BenchmarkAblationClusterRoadType(b *testing.B) {
+	w := benchWorld(b)
+	paths := make([]roadnet.Path, 0, len(w.Train))
+	for _, t := range w.Train {
+		paths = append(paths, t.Truth)
+	}
+	for _, variant := range []struct {
+		name string
+		opt  cluster.Options
+	}{
+		{"WithRoadType", cluster.Options{}},
+		{"IgnoreRoadType", cluster.Options{IgnoreRoadType: true}},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			var regions []cluster.Region
+			for i := 0; i < b.N; i++ {
+				tg := cluster.BuildTrajectoryGraph(w.Road, paths)
+				regions = cluster.Cluster(tg, variant.opt)
+			}
+			b.ReportMetric(float64(len(regions)), "regions")
+		})
+	}
+}
+
+// BenchmarkAblationAMR sweeps the adjacency-matrix reduction threshold,
+// reporting the surviving similarity-graph edge count (the density the
+// paper's Fig. 9(b) trades accuracy and run time over).
+func BenchmarkAblationAMR(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	rg := r.RegionGraph()
+	ids := make([]int, 0, len(rg.Edges))
+	for _, e := range rg.Edges {
+		ids = append(ids, e.ID)
+	}
+	if len(ids) > 400 {
+		ids = ids[:400]
+	}
+	for _, amr := range []float64{0.5, 0.7, 0.9} {
+		amr := amr
+		b.Run(name(amr), func(b *testing.B) {
+			var density int
+			for i := 0; i < b.N; i++ {
+				density = transfer.AdjacencyDensity(rg, ids, amr)
+			}
+			b.ReportMetric(float64(density), "simgraph-edges")
+		})
+	}
+}
+
+func name(amr float64) string {
+	switch amr {
+	case 0.5:
+		return "amr0.5"
+	case 0.7:
+		return "amr0.7"
+	default:
+		return "amr0.9"
+	}
+}
+
+// BenchmarkAblationLearnerSampleCap measures preference-learning cost
+// versus the per-T-edge path-sample cap (the MaxPaths knob).
+func BenchmarkAblationLearnerSampleCap(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	rg := r.RegionGraph()
+	var paths []roadnet.Path
+	for _, e := range rg.Edges {
+		if e.Kind != region.TEdge {
+			continue
+		}
+		for _, pi := range e.PathsFwd {
+			paths = append(paths, pi.Path)
+		}
+		if len(paths) >= 24 {
+			break
+		}
+	}
+	if len(paths) < 8 {
+		b.Skip("not enough paths")
+	}
+	for _, cap := range []int{2, 8, 24} {
+		cap := cap
+		b.Run(capName(cap), func(b *testing.B) {
+			l := pref.NewLearner(w.Road)
+			l.MaxPaths = cap
+			for i := 0; i < b.N; i++ {
+				l.Learn(paths)
+			}
+		})
+	}
+}
+
+func capName(c int) string {
+	switch c {
+	case 2:
+		return "cap2"
+	case 8:
+		return "cap8"
+	default:
+		return "cap24"
+	}
+}
+
+// BenchmarkSparseCG isolates the Eq. 3 linear-algebra kernel.
+func BenchmarkSparseCG(b *testing.B) {
+	const n = 500
+	var coords []sparse.Coord
+	for i := 0; i < n-1; i++ {
+		coords = append(coords,
+			sparse.Coord{Row: i, Col: i + 1, Val: 0.8},
+			sparse.Coord{Row: i + 1, Col: i, Val: 0.8})
+	}
+	adj := sparse.New(n, coords)
+	lap := sparse.Laplacian(adj)
+	var sc []sparse.Coord
+	for i := 0; i < n/4; i++ {
+		sc = append(sc, sparse.Coord{Row: i, Col: i, Val: 1})
+	}
+	a := sparse.AddScaled(sparse.New(n, sc), 1.0, lap, 0.01)
+	rhs := make([]float64, n)
+	for i := 0; i < n/4; i++ {
+		rhs[i] = 1
+	}
+	x := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		sparse.CG(a, x, rhs, 1e-8, 2000)
+	}
+}
+
+// BenchmarkMapMatch measures the HMM map matcher on simulated feeds.
+func BenchmarkMapMatch(b *testing.B) {
+	w := benchWorld(b)
+	idx := benchIndex(w)
+	m := benchMatcher(w, idx)
+	var pts [][]geo.Point
+	for _, t := range w.Train[:min(40, len(w.Train))] {
+		ps := make([]geo.Point, len(t.Records))
+		for i, rec := range t.Records {
+			ps[i] = rec.P
+		}
+		pts = append(pts, ps)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(pts[i%len(pts)])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Extension benches -------------------------------------------------------
+
+// BenchmarkAblationCH compares contraction-hierarchy queries against
+// plain Dijkstra on the bench world (the paper's deferred speed-up).
+func BenchmarkAblationCH(b *testing.B) {
+	w := benchWorld(b)
+	b.Log(exp.CHSpeedup(w))
+	h := ch.Build(w.Road, roadnet.TT, ch.Config{})
+	q := ch.NewQuery(h)
+	eng := route.NewEngine(w.Road)
+	qs := benchQueries(b)
+	b.Run("CH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := qs[i%len(qs)]
+			q.Cost(p.S, p.D)
+		}
+	})
+	b.Run("Dijkstra", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := qs[i%len(qs)]
+			eng.Route(p.S, p.D, roadnet.TT)
+		}
+	})
+}
+
+// BenchmarkAblationClusteringMethod compares the paper's clustering
+// against the two related-work methods of Section II.
+func BenchmarkAblationClusteringMethod(b *testing.B) {
+	w := benchWorld(b)
+	b.Log(exp.AblationClustering(w))
+	paths := make([]roadnet.Path, 0, len(w.Train))
+	for _, t := range w.Train {
+		paths = append(paths, t.Truth)
+	}
+	b.Run("Modularity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tg := cluster.BuildTrajectoryGraph(w.Road, paths)
+			cluster.Cluster(tg, cluster.Options{})
+		}
+	})
+	b.Run("Grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster.GridCluster(w.Road, paths, cluster.GridClusterOptions{})
+		}
+	})
+	b.Run("Hierarchy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster.HierarchyPartition(w.Road, paths, cluster.HierarchyPartitionOptions{})
+		}
+	})
+}
+
+// BenchmarkSplice measures the Case-1/2 splicing baseline and logs the
+// coverage analysis that motivates Case 3.
+func BenchmarkSplice(b *testing.B) {
+	w := benchWorld(b)
+	b.Log(exp.CaseCoverage(w))
+	mpr := splice.NewMPR(w.Road, w.Train)
+	qs := benchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpr.Route(qs[i%len(qs)].Query)
+	}
+}
+
+// BenchmarkPersistence measures router save/load round trips — the
+// artifact path a deployment takes instead of re-running the offline
+// build.
+func BenchmarkPersistence(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	var size int
+	b.Run("Save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := r.Save(&buf); err != nil {
+				b.Fatal(err)
+			}
+			size = buf.Len()
+		}
+		b.ReportMetric(float64(size), "bytes")
+	})
+	var artifact bytes.Buffer
+	if err := r.Save(&artifact); err != nil {
+		b.Fatal(err)
+	}
+	raw := artifact.Bytes()
+	b.Run("Load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Load(bytes.NewReader(raw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIngest measures incremental trajectory ingestion throughput.
+func BenchmarkIngest(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	batch := w.Test
+	if len(batch) > 50 {
+		batch = batch[:50]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clone := r.Clone()
+		b.StartTimer()
+		clone.Ingest(batch, core.IngestOptions{SkipMapMatching: true})
+	}
+}
+
+// BenchmarkAblationMu sweeps the Eq. 2 hyper-parameters.
+func BenchmarkAblationMu(b *testing.B) {
+	w := benchWorld(b)
+	w.MustRouter()
+	b.Log(exp.AblationMu(w))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationMuCompute(w); err != nil {
+			b.Skip(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command l2rexp regenerates the tables and figures of the paper's
+// evaluation over the synthetic D1-like and D2-like worlds.
+//
+// Usage:
+//
+//	l2rexp [-data D1|D2|both] [-exp all|table2,table4,fig6a,fig6b,fig9a,fig9b,fig10,fig11,fig12,fig13,offline,clustering,clustering-e2e,casecov,ch,mu,matchrate,significance]
+//	       [-scale small|full] [-seed N] [-match] [-workers N]
+//
+// Examples:
+//
+//	l2rexp -data D2 -exp table2,fig10
+//	l2rexp -data both -exp all -scale full -match
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+var experiments = []struct {
+	name string
+	run  func(*exp.World) string
+}{
+	{"table2", exp.TableII},
+	{"table4", exp.TableIV},
+	{"fig6a", exp.Fig6a},
+	{"fig6b", exp.Fig6b},
+	{"fig9a", exp.Fig9a},
+	{"fig9b", exp.Fig9b},
+	{"fig10", exp.Fig10},
+	{"fig11", exp.Fig11},
+	{"fig12", exp.Fig12},
+	{"fig13", exp.Fig13},
+	{"offline", exp.Offline},
+	// Ablations and extensions beyond the paper's published figures.
+	{"clustering", exp.AblationClustering},
+	{"casecov", exp.CaseCoverage},
+	{"ch", exp.CHSpeedup},
+	{"mu", exp.AblationMu},
+	{"clustering-e2e", exp.AblationClusteringE2E},
+	{"matchrate", exp.MatchRate},
+	{"significance", exp.Significance},
+}
+
+func main() {
+	data := flag.String("data", "D2", "dataset analogue: D1, D2 or both")
+	expList := flag.String("exp", "all", "comma-separated experiment list or 'all'")
+	scale := flag.String("scale", "small", "experiment scale: small or full")
+	seed := flag.Int64("seed", 1, "world seed")
+	match := flag.Bool("match", false, "run the full GPS map-matching pipeline")
+	workers := flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, UseMapMatching: *match, Workers: *workers}
+	switch *scale {
+	case "small":
+		cfg.Scale = exp.Small
+	case "full":
+		cfg.Scale = exp.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var worlds []*exp.World
+	switch strings.ToUpper(*data) {
+	case "D1":
+		worlds = append(worlds, exp.NewD1(cfg))
+	case "D2":
+		worlds = append(worlds, exp.NewD2(cfg))
+	case "BOTH":
+		worlds = append(worlds, exp.NewD1(cfg), exp.NewD2(cfg))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown data %q\n", *data)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *expList == "all" {
+		for _, e := range experiments {
+			want[e.name] = true
+		}
+	} else {
+		for _, n := range strings.Split(*expList, ",") {
+			want[strings.TrimSpace(strings.ToLower(n))] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
+	for n := range want {
+		if !known[n] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", n)
+			os.Exit(2)
+		}
+	}
+
+	for _, w := range worlds {
+		for _, e := range experiments {
+			if want[e.name] {
+				fmt.Println(e.run(w))
+			}
+		}
+	}
+}

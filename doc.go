@@ -1,0 +1,9 @@
+// Package repro is the repository root of learn2route, a Go
+// reproduction of "Learning to Route with Sparse Trajectory Sets"
+// (Guo, Yang, Hu, Jensen — IEEE ICDE 2018).
+//
+// The public API lives in the l2r package; the paper's pipeline and all
+// substrates live under internal/. The root package exists to host the
+// benchmark suite (bench_test.go), which regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package repro

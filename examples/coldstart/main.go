@@ -1,0 +1,56 @@
+// Coldstart: how routing quality depends on trajectory volume — the
+// data-sparseness question at the heart of the paper (its Case 3). The
+// example builds routers from increasing slices of the training data and
+// reports accuracy and region-graph composition for each, showing the
+// preference-transfer machinery covering more of the map as data grows.
+//
+//	go run ./examples/coldstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/pref"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+	"repro/l2r"
+)
+
+func main() {
+	road := roadnet.Generate(roadnet.N2Like(31))
+	cfg := traj.D2Like(31, 2000)
+	trips := traj.NewSimulator(road, cfg).Run()
+	train, test := traj.Split(trips, 0.75*cfg.HorizonSec)
+	fa := baseline.NewFastest(road)
+
+	fmt.Printf("%8s %8s %8s %8s %10s %10s\n",
+		"trips", "regions", "T-edges", "B-edges", "L2R acc%", "Fast acc%")
+	for _, frac := range []float64{0.1, 0.25, 0.5, 1.0} {
+		n := int(frac * float64(len(train)))
+		router, err := l2r.Build(road, train[:n], l2r.Options{SkipMapMatching: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var accL, accF float64
+		m := 0
+		for _, tr := range test {
+			if m >= 120 {
+				break
+			}
+			lp := router.Route(tr.Source(), tr.Destination()).Path
+			fp := fa.Route(baseline.Query{S: tr.Source(), D: tr.Destination()})
+			if len(lp) < 2 || len(fp) < 2 {
+				continue
+			}
+			accL += pref.SimEq1(road, tr.Truth, lp)
+			accF += pref.SimEq1(road, tr.Truth, fp)
+			m++
+		}
+		st := router.Stats()
+		fmt.Printf("%8d %8d %8d %8d %10.1f %10.1f\n",
+			n, st.Regions, st.TEdges, st.BEdges,
+			100*accL/float64(m), 100*accF/float64(m))
+	}
+}

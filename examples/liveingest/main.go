@@ -1,0 +1,70 @@
+// Liveingest: keep a built router current as new trajectories stream
+// in, without a full rebuild — the supported portion of the paper's
+// "real-time region graph updates" future work (Section VIII). The
+// example builds from the first week of traffic, then ingests the
+// remaining weeks day by day, watching B-edges upgrade to T-edges and
+// the staleness signal that would trigger a re-clustering.
+//
+//	go run ./examples/liveingest
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+	"repro/l2r"
+)
+
+func main() {
+	road := roadnet.Generate(roadnet.N2Like(13))
+	cfg := traj.D2Like(13, 2000)
+	trips := traj.NewSimulator(road, cfg).Run()
+	sort.Slice(trips, func(i, j int) bool { return trips[i].Depart < trips[j].Depart })
+
+	const day = 86_400.0
+	// Build from the first 7 days.
+	var boot []*traj.Trajectory
+	rest := trips
+	for len(rest) > 0 && rest[0].Depart < 7*day {
+		boot = append(boot, rest[0])
+		rest = rest[1:]
+	}
+	router, err := l2r.Build(road, boot, l2r.Options{SkipMapMatching: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := router.Stats()
+	fmt.Printf("bootstrap (7 days, %d trips): %d regions, %d T-edges, %d B-edges\n",
+		len(boot), st.Regions, st.TEdges, st.BEdges)
+
+	// Stream the remaining days.
+	dayNo := 7
+	for len(rest) > 0 {
+		var batch []*traj.Trajectory
+		limit := float64(dayNo+1) * day
+		for len(rest) > 0 && rest[0].Depart < limit {
+			batch = append(batch, rest[0])
+			rest = rest[1:]
+		}
+		dayNo++
+		if len(batch) == 0 {
+			continue
+		}
+		is := router.Ingest(batch, l2r.IngestOptions{SkipMapMatching: true})
+		fmt.Printf("day %2d: +%3d trips, %2d edges touched, %d upgraded B->T, %d new, staleness %.1f%%%s\n",
+			dayNo, len(batch), len(is.TouchedEdges), is.UpgradedEdges, is.NewEdges,
+			100*is.StalenessRatio(), rebuildNote(is.RebuildRecommended))
+	}
+	st = router.Stats()
+	fmt.Printf("final: %d T-edges, %d B-edges\n", st.TEdges, st.BEdges)
+}
+
+func rebuildNote(recommended bool) string {
+	if recommended {
+		return "  <- rebuild recommended"
+	}
+	return ""
+}

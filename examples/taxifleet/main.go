@@ -1,0 +1,63 @@
+// Taxifleet: the D2 scenario end-to-end — low-frequency taxi GPS
+// records are map-matched onto the road network (the full pipeline the
+// paper runs), a router is built, and its accuracy is compared against
+// the shortest and fastest baselines on held-out trips.
+//
+//	go run ./examples/taxifleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/pref"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+	"repro/l2r"
+)
+
+func main() {
+	road := roadnet.Generate(roadnet.N2Like(11))
+	cfg := traj.D2Like(11, 900)
+	trips := traj.NewSimulator(road, cfg).Run()
+	train, test := traj.Split(trips, 0.75*cfg.HorizonSec)
+	fmt.Printf("taxi fleet: %d trips recorded at %.2g–%.2g Hz, %d train / %d test\n",
+		len(trips), 1/cfg.SampleMaxSec, 1/cfg.SampleMinSec, len(train), len(test))
+
+	// Full pipeline including HMM map matching of the raw GPS records.
+	router, err := l2r.Build(road, train, l2r.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := router.Stats()
+	fmt.Printf("map-matched %d/%d trajectories in %v\n",
+		st.MatchedOK, st.Trajectories, st.MatchTime.Round(1e6))
+	fmt.Printf("region graph: %d regions, %d T-edges, %d B-edges (%d transferred, %d null)\n",
+		st.Regions, st.TEdges, st.BEdges, st.TransferredOK, st.NullBEdges)
+
+	sh := baseline.NewShortest(road)
+	fa := baseline.NewFastest(road)
+	var accL2R, accSh, accFa float64
+	n := 0
+	for _, tr := range test {
+		if n >= 150 {
+			break
+		}
+		q := baseline.Query{S: tr.Source(), D: tr.Destination()}
+		lp := router.Route(q.S, q.D).Path
+		sp := sh.Route(q)
+		fp := fa.Route(q)
+		if len(lp) < 2 || len(sp) < 2 || len(fp) < 2 {
+			continue
+		}
+		accL2R += pref.SimEq1(road, tr.Truth, lp)
+		accSh += pref.SimEq1(road, tr.Truth, sp)
+		accFa += pref.SimEq1(road, tr.Truth, fp)
+		n++
+	}
+	fmt.Printf("accuracy over %d held-out trips (Eq. 1):\n", n)
+	fmt.Printf("  L2R      %.1f%%\n", 100*accL2R/float64(n))
+	fmt.Printf("  Shortest %.1f%%\n", 100*accSh/float64(n))
+	fmt.Printf("  Fastest  %.1f%%\n", 100*accFa/float64(n))
+}

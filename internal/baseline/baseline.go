@@ -1,0 +1,72 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation (Section VII-C/D): cost-centric Shortest and Fastest
+// routing, the two personalized routing algorithms Dom [26] and
+// TRIP [27], and a stand-in for the Google Directions web service.
+package baseline
+
+import (
+	"repro/internal/roadnet"
+	"repro/internal/route"
+	"repro/internal/traj"
+)
+
+// Query is one evaluation routing request.
+type Query struct {
+	S, D   roadnet.VertexID
+	Driver int
+	Peak   bool
+}
+
+// Algorithm answers routing queries. Implementations are not safe for
+// concurrent use unless stated otherwise.
+type Algorithm interface {
+	Name() string
+	Route(q Query) roadnet.Path
+}
+
+// Shortest returns minimum-distance paths via Dijkstra.
+type Shortest struct{ eng *route.Engine }
+
+// NewShortest returns the Shortest baseline over g.
+func NewShortest(g *roadnet.Graph) *Shortest {
+	return &Shortest{eng: route.NewEngine(g)}
+}
+
+// Name implements Algorithm.
+func (s *Shortest) Name() string { return "Shortest" }
+
+// Route implements Algorithm.
+func (s *Shortest) Route(q Query) roadnet.Path {
+	p, _, _ := s.eng.Shortest(q.S, q.D)
+	return p
+}
+
+// Fastest returns minimum-travel-time paths via Dijkstra.
+type Fastest struct{ eng *route.Engine }
+
+// NewFastest returns the Fastest baseline over g.
+func NewFastest(g *roadnet.Graph) *Fastest {
+	return &Fastest{eng: route.NewEngine(g)}
+}
+
+// Name implements Algorithm.
+func (f *Fastest) Name() string { return "Fastest" }
+
+// Route implements Algorithm.
+func (f *Fastest) Route(q Query) roadnet.Path {
+	p, _, _ := f.eng.Fastest(q.S, q.D)
+	return p
+}
+
+// QueriesFromTrajectories converts test trajectories into evaluation
+// queries using their ground-truth endpoints.
+func QueriesFromTrajectories(ts []*traj.Trajectory) []Query {
+	out := make([]Query, 0, len(ts))
+	for _, t := range ts {
+		if len(t.Truth) < 2 {
+			continue
+		}
+		out = append(out, Query{S: t.Source(), D: t.Destination(), Driver: t.Driver, Peak: t.Peak})
+	}
+	return out
+}

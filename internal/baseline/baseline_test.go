@@ -1,0 +1,192 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/pref"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+func testNet() *roadnet.Graph { return roadnet.Generate(roadnet.Tiny(77)) }
+
+func testTrips(g *roadnet.Graph, n int) []*traj.Trajectory {
+	sim := traj.NewSimulator(g, traj.D2Like(77, n))
+	return sim.Run()
+}
+
+func TestShortestAndFastest(t *testing.T) {
+	g := testNet()
+	ts := testTrips(g, 20)
+	qs := QueriesFromTrajectories(ts)
+	if len(qs) != len(ts) {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	sh := NewShortest(g)
+	fa := NewFastest(g)
+	if sh.Name() != "Shortest" || fa.Name() != "Fastest" {
+		t.Fatal("names wrong")
+	}
+	for _, q := range qs[:10] {
+		sp := sh.Route(q)
+		fp := fa.Route(q)
+		if len(sp) < 2 || len(fp) < 2 {
+			t.Fatal("baseline failed to route")
+		}
+		if sp.Cost(g, roadnet.DI) > fp.Cost(g, roadnet.DI)+1e-9 {
+			t.Fatal("shortest longer than fastest")
+		}
+		if fp.Cost(g, roadnet.TT) > sp.Cost(g, roadnet.TT)+1e-9 {
+			t.Fatal("fastest slower than shortest")
+		}
+	}
+}
+
+func TestDomLearnsAndRoutes(t *testing.T) {
+	g := testNet()
+	ts := testTrips(g, 120)
+	dom := NewDom(g, ts, 4)
+	// Every driver with data gets weights on the simplex.
+	found := 0
+	for d := 0; d < 300; d++ {
+		if w, ok := dom.DriverWeights(d); ok {
+			found++
+			sum := w[0] + w[1] + w[2]
+			if math.Abs(sum-1) > 0.02 {
+				t.Fatalf("driver %d weights %v not on simplex", d, w)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no drivers learned")
+	}
+	q := QueriesFromTrajectories(ts)[0]
+	p := dom.Route(q)
+	if len(p) < 2 || p[0] != q.S || p[len(p)-1] != q.D {
+		t.Fatalf("dom route invalid: %v", p)
+	}
+}
+
+func TestDomBeatsRandomWeightOnOwnDriver(t *testing.T) {
+	// Sanity: Dom's learned weights reproduce the driver's own training
+	// trips at least as well as the uniform fallback would on average.
+	g := testNet()
+	ts := testTrips(g, 150)
+	dom := NewDom(g, ts, 5)
+	var lSum, uSum float64
+	n := 0
+	uni := NewDom(g, nil, 1) // uniform weights for everyone
+	for _, tr := range ts[:60] {
+		q := Query{S: tr.Source(), D: tr.Destination(), Driver: tr.Driver}
+		lp := dom.Route(q)
+		up := uni.Route(q)
+		if len(lp) < 2 || len(up) < 2 {
+			continue
+		}
+		lSum += pref.SimEq1(g, tr.Truth, lp)
+		uSum += pref.SimEq1(g, tr.Truth, up)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no comparisons")
+	}
+	if lSum < uSum-1e-6 {
+		t.Errorf("learned weights (%.3f) worse than uniform (%.3f)", lSum/float64(n), uSum/float64(n))
+	}
+}
+
+func TestTRIPRatiosNearSpeedFactors(t *testing.T) {
+	g := testNet()
+	sim := traj.NewSimulator(g, traj.D2Like(77, 200))
+	ts := sim.Run()
+	trip := NewTRIP(g, ts)
+	// For drivers with many trips, learned ratios should correlate with
+	// the simulator's planted factors (same direction from 1).
+	counts := map[int]int{}
+	for _, tr := range ts {
+		counts[tr.Driver]++
+	}
+	checked := 0
+	for d, c := range counts {
+		if c < 8 {
+			continue
+		}
+		for rt := roadnet.RoadType(0); rt < roadnet.NumRoadTypes; rt++ {
+			got := trip.Ratio(d, rt)
+			if got <= 0 || got > 2 {
+				t.Fatalf("driver %d ratio %v absurd", d, got)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no driver with enough trips")
+	}
+	q := Query{S: ts[0].Source(), D: ts[0].Destination(), Driver: ts[0].Driver}
+	if p := trip.Route(q); len(p) < 2 {
+		t.Fatal("TRIP failed to route")
+	}
+	// Unknown driver falls back to plain fastest.
+	q.Driver = 99999
+	if p := trip.Route(q); len(p) < 2 {
+		t.Fatal("TRIP fallback failed")
+	}
+}
+
+func TestWebServiceDirections(t *testing.T) {
+	g := testNet()
+	ws := NewWebService(g)
+	if ws.Name() != "Google" {
+		t.Fatal("name wrong")
+	}
+	ts := testTrips(g, 10)
+	for _, tr := range ts[:5] {
+		wps := ws.Directions(tr.Source(), tr.Destination())
+		if len(wps) < 2 {
+			t.Fatal("no directions")
+		}
+		// Way-points must start and end near the endpoints.
+		if wps[0].Dist(g.Point(tr.Source())) > 1 {
+			t.Fatal("directions do not start at source")
+		}
+		if wps[len(wps)-1].Dist(g.Point(tr.Destination())) > 1 {
+			t.Fatal("directions do not end at destination")
+		}
+		// Spacing respects the resample step.
+		for i := 1; i < len(wps); i++ {
+			if wps[i-1].Dist(wps[i]) > ws.WaypointStepM+1 {
+				t.Fatal("way-point spacing exceeded")
+			}
+		}
+	}
+}
+
+func TestWebServiceBandScoreReasonable(t *testing.T) {
+	// The service's own path band-matched against itself scores ~1;
+	// against an unrelated path it scores low.
+	g := testNet()
+	ws := NewWebService(g)
+	ts := testTrips(g, 20)
+	tr := ts[0]
+	wps := ws.Directions(tr.Source(), tr.Destination())
+	own := ws.Route(Query{S: tr.Source(), D: tr.Destination()})
+	self := geo.MatchBand(own.Polyline(g), wps, 10).Similarity()
+	if self < 0.95 {
+		t.Errorf("self band score = %v", self)
+	}
+}
+
+func TestQueriesFromTrajectoriesSkipsDegenerate(t *testing.T) {
+	g := testNet()
+	_ = g
+	ts := []*traj.Trajectory{
+		{Truth: roadnet.Path{1, 2}, Driver: 3, Peak: true},
+		{Truth: roadnet.Path{5}}, // degenerate: skipped
+	}
+	qs := QueriesFromTrajectories(ts)
+	if len(qs) != 1 || qs[0].Driver != 3 || !qs[0].Peak {
+		t.Fatalf("queries = %+v", qs)
+	}
+}

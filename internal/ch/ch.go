@@ -1,0 +1,325 @@
+// Package ch implements contraction hierarchies (Geisberger et al., WEA
+// 2008), the speed-up technique the paper cites as reference [16] and
+// names as a future research direction for accelerating all compared
+// routing algorithms consistently (Section VII-C). The hierarchy is
+// built once per (graph, weight) pair and then answers point-to-point
+// queries with a bidirectional upward search that settles orders of
+// magnitude fewer vertices than plain Dijkstra while returning exactly
+// the same costs.
+package ch
+
+import (
+	"math"
+
+	"repro/internal/container"
+	"repro/internal/roadnet"
+)
+
+// arc is one edge of the augmented (original + shortcut) graph. For a
+// shortcut, via is the contracted middle vertex; for an original edge,
+// via is roadnet.NoVertex.
+type arc struct {
+	to   roadnet.VertexID
+	cost float64
+	via  roadnet.VertexID
+}
+
+// Hierarchy is a built contraction hierarchy for one weight function.
+// Build one with Build; it is immutable afterwards and safe for
+// concurrent queries through independent Query contexts (NewQuery).
+type Hierarchy struct {
+	g *roadnet.Graph
+	w roadnet.Weight
+
+	rank []int32 // vertex -> contraction order (0 = contracted first)
+
+	// up holds forward arcs leading to higher-ranked vertices; down
+	// holds reverse arcs (u in down[v] means arc v<-u in the original
+	// direction) whose tail u is higher-ranked than v. Queries relax
+	// up from the source and down from the destination.
+	up   [][]arc
+	down [][]arc
+
+	shortcuts int
+}
+
+// Config tunes preprocessing. The zero value is usable.
+type Config struct {
+	// WitnessHopLimit bounds the number of settled vertices per witness
+	// search; smaller is faster to preprocess but adds more (harmless)
+	// shortcuts. Default 64.
+	WitnessHopLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WitnessHopLimit <= 0 {
+		c.WitnessHopLimit = 64
+	}
+	return c
+}
+
+// workGraph is the mutable overlay graph used during contraction.
+type workGraph struct {
+	fwd        [][]arc // out-arcs among uncontracted vertices
+	bwd        [][]arc // in-arcs among uncontracted vertices
+	contracted []bool
+	level      []int32 // hierarchy depth heuristic
+}
+
+// Build constructs the hierarchy for weight w over g. Preprocessing is
+// O(|V| log |V|) node contractions with bounded witness searches.
+func Build(g *roadnet.Graph, w roadnet.Weight, cfg Config) *Hierarchy {
+	cfg = cfg.withDefaults()
+	n := g.NumVertices()
+	wg := &workGraph{
+		fwd:        make([][]arc, n),
+		bwd:        make([][]arc, n),
+		contracted: make([]bool, n),
+		level:      make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Out(roadnet.VertexID(v)) {
+			ed := g.Edge(e)
+			if ed.To == ed.From {
+				continue // self-loops never help shortest paths
+			}
+			c := g.EdgeWeight(e, w)
+			wg.addArc(ed.From, ed.To, c, roadnet.NoVertex)
+		}
+	}
+
+	h := &Hierarchy{
+		g:    g,
+		w:    w,
+		rank: make([]int32, n),
+		up:   make([][]arc, n),
+		down: make([][]arc, n),
+	}
+
+	ws := newWitnessSearch(n, cfg.WitnessHopLimit)
+
+	// Lazy priority queue over contraction priorities.
+	pq := container.NewIndexedMinHeap(n)
+	for v := 0; v < n; v++ {
+		pq.Push(v, wg.priority(roadnet.VertexID(v), ws))
+	}
+
+	order := int32(0)
+	for pq.Len() > 0 {
+		v, _ := pq.Pop()
+		// Lazy update: the graph may have changed since the priority
+		// was computed. Recompute; if v no longer has the minimum
+		// priority, reinsert and try the new minimum.
+		p := wg.priority(roadnet.VertexID(v), ws)
+		if pq.Len() > 0 {
+			if _, top := peek(pq); p > top {
+				pq.Push(v, p)
+				continue
+			}
+		}
+		h.contract(wg, roadnet.VertexID(v), ws, order)
+		order++
+	}
+	return h
+}
+
+// peek returns the minimum entry without removing it.
+func peek(pq *container.IndexedMinHeap) (int, float64) {
+	id, p := pq.Pop()
+	pq.Push(id, p)
+	return id, p
+}
+
+// addArc inserts (or relaxes) an arc u->v with the given cost.
+func (wg *workGraph) addArc(u, v roadnet.VertexID, cost float64, via roadnet.VertexID) {
+	for i := range wg.fwd[u] {
+		if wg.fwd[u][i].to == v {
+			if cost < wg.fwd[u][i].cost {
+				wg.fwd[u][i].cost = cost
+				wg.fwd[u][i].via = via
+				for j := range wg.bwd[v] {
+					if wg.bwd[v][j].to == u {
+						wg.bwd[v][j].cost = cost
+						wg.bwd[v][j].via = via
+						break
+					}
+				}
+			}
+			return
+		}
+	}
+	wg.fwd[u] = append(wg.fwd[u], arc{to: v, cost: cost, via: via})
+	wg.bwd[v] = append(wg.bwd[v], arc{to: u, cost: cost, via: via})
+}
+
+// neighborsDegree counts uncontracted in/out neighbors of v.
+func (wg *workGraph) neighborsDegree(v roadnet.VertexID) int {
+	deg := 0
+	for _, a := range wg.fwd[v] {
+		if !wg.contracted[a.to] {
+			deg++
+		}
+	}
+	for _, a := range wg.bwd[v] {
+		if !wg.contracted[a.to] {
+			deg++
+		}
+	}
+	return deg
+}
+
+// priority is the standard edge-difference heuristic plus the hierarchy
+// depth term, which keeps the hierarchy shallow.
+func (wg *workGraph) priority(v roadnet.VertexID, ws *witnessSearch) float64 {
+	needed := wg.countShortcuts(v, ws)
+	deg := wg.neighborsDegree(v)
+	return float64(needed-deg) + 0.5*float64(wg.level[v])
+}
+
+// countShortcuts simulates contracting v and counts required shortcuts.
+func (wg *workGraph) countShortcuts(v roadnet.VertexID, ws *witnessSearch) int {
+	count := 0
+	wg.forShortcuts(v, ws, func(u, t roadnet.VertexID, cost float64) {
+		count++
+	})
+	return count
+}
+
+// forShortcuts enumerates the shortcuts required by contracting v:
+// pairs (u, t) of uncontracted in/out neighbors whose best path through
+// v has no witness avoiding v.
+func (wg *workGraph) forShortcuts(v roadnet.VertexID, ws *witnessSearch, fn func(u, t roadnet.VertexID, cost float64)) {
+	for _, in := range wg.bwd[v] {
+		u := in.to
+		if wg.contracted[u] {
+			continue
+		}
+		// Upper bound for the witness search: max over targets.
+		maxCost := 0.0
+		targets := 0
+		for _, out := range wg.fwd[v] {
+			if wg.contracted[out.to] || out.to == u {
+				continue
+			}
+			if c := in.cost + out.cost; c > maxCost {
+				maxCost = c
+			}
+			targets++
+		}
+		if targets == 0 {
+			continue
+		}
+		ws.run(wg, u, v, maxCost)
+		for _, out := range wg.fwd[v] {
+			t := out.to
+			if wg.contracted[t] || t == u {
+				continue
+			}
+			through := in.cost + out.cost
+			if ws.dist(t) <= through {
+				continue // witness found: no shortcut needed
+			}
+			fn(u, t, through)
+		}
+	}
+}
+
+// contract removes v from the overlay graph, adding shortcuts and
+// recording v's upward arcs in the hierarchy.
+func (h *Hierarchy) contract(wg *workGraph, v roadnet.VertexID, ws *witnessSearch, order int32) {
+	wg.forShortcuts(v, ws, func(u, t roadnet.VertexID, cost float64) {
+		wg.addArc(u, t, cost, v)
+		h.shortcuts++
+	})
+	wg.contracted[v] = true
+	h.rank[v] = order
+	// Record v's remaining arcs to uncontracted (therefore
+	// higher-ranked) vertices. Arcs to already contracted vertices were
+	// recorded when those vertices were contracted.
+	for _, a := range wg.fwd[v] {
+		if !wg.contracted[a.to] {
+			h.up[v] = append(h.up[v], a)
+			if wg.level[a.to] <= wg.level[v] {
+				wg.level[a.to] = wg.level[v] + 1
+			}
+		}
+	}
+	for _, a := range wg.bwd[v] {
+		if !wg.contracted[a.to] {
+			h.down[v] = append(h.down[v], a)
+			if wg.level[a.to] <= wg.level[v] {
+				wg.level[a.to] = wg.level[v] + 1
+			}
+		}
+	}
+}
+
+// Shortcuts returns the number of shortcut arcs added during
+// preprocessing.
+func (h *Hierarchy) Shortcuts() int { return h.shortcuts }
+
+// Rank returns the contraction order of v (higher = contracted later =
+// more important).
+func (h *Hierarchy) Rank(v roadnet.VertexID) int { return int(h.rank[v]) }
+
+// Weight returns the weight function the hierarchy was built for.
+func (h *Hierarchy) Weight() roadnet.Weight { return h.w }
+
+// witnessSearch is a bounded unidirectional Dijkstra over the
+// uncontracted overlay, excluding one vertex, reused across calls.
+type witnessSearch struct {
+	distv    []float64
+	seen     []int32
+	epoch    int32
+	pq       *container.IndexedMinHeap
+	hopLimit int
+}
+
+func newWitnessSearch(n, hopLimit int) *witnessSearch {
+	return &witnessSearch{
+		distv:    make([]float64, n),
+		seen:     make([]int32, n),
+		pq:       container.NewIndexedMinHeap(n),
+		hopLimit: hopLimit,
+	}
+}
+
+func (ws *witnessSearch) dist(v roadnet.VertexID) float64 {
+	if ws.seen[v] != ws.epoch {
+		return math.Inf(1)
+	}
+	return ws.distv[v]
+}
+
+func (ws *witnessSearch) set(v roadnet.VertexID, d float64) {
+	ws.seen[v] = ws.epoch
+	ws.distv[v] = d
+}
+
+// run computes bounded distances from u in the overlay graph, skipping
+// the excluded vertex and any contracted vertex, stopping once maxCost
+// is exceeded or the hop limit is reached.
+func (ws *witnessSearch) run(wg *workGraph, u, excluded roadnet.VertexID, maxCost float64) {
+	ws.epoch++
+	ws.pq.Reset()
+	ws.set(u, 0)
+	ws.pq.Push(int(u), 0)
+	settled := 0
+	for ws.pq.Len() > 0 {
+		x, dx := ws.pq.Pop()
+		if dx > maxCost || settled >= ws.hopLimit {
+			return
+		}
+		settled++
+		for _, a := range wg.fwd[x] {
+			if a.to == excluded || wg.contracted[a.to] {
+				continue
+			}
+			nd := dx + a.cost
+			if nd < ws.dist(a.to) {
+				ws.set(a.to, nd)
+				ws.pq.Push(int(a.to), nd)
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package ch
+
+import (
+	"math"
+
+	"repro/internal/container"
+	"repro/internal/roadnet"
+)
+
+// Query is a reusable bidirectional search context over one Hierarchy.
+// A Query is not safe for concurrent use; create one per goroutine.
+type Query struct {
+	h *Hierarchy
+
+	fwd, bwd searchSide
+}
+
+// searchSide holds one direction of the bidirectional upward search.
+type searchSide struct {
+	dist   []float64
+	parent []roadnet.VertexID
+	via    []roadnet.VertexID // shortcut middle vertex of the parent arc
+	seen   []int32
+	epoch  int32
+	pq     *container.IndexedMinHeap
+}
+
+func newSide(n int) searchSide {
+	return searchSide{
+		dist:   make([]float64, n),
+		parent: make([]roadnet.VertexID, n),
+		via:    make([]roadnet.VertexID, n),
+		seen:   make([]int32, n),
+		pq:     container.NewIndexedMinHeap(n),
+	}
+}
+
+func (s *searchSide) reset() {
+	s.epoch++
+	s.pq.Reset()
+}
+
+func (s *searchSide) d(v roadnet.VertexID) float64 {
+	if s.seen[v] != s.epoch {
+		return math.Inf(1)
+	}
+	return s.dist[v]
+}
+
+func (s *searchSide) set(v roadnet.VertexID, d float64, parent, via roadnet.VertexID) {
+	s.seen[v] = s.epoch
+	s.dist[v] = d
+	s.parent[v] = parent
+	s.via[v] = via
+}
+
+// NewQuery allocates a query context for h.
+func NewQuery(h *Hierarchy) *Query {
+	n := h.g.NumVertices()
+	return &Query{h: h, fwd: newSide(n), bwd: newSide(n)}
+}
+
+// Cost returns the shortest-path cost from s to d under the hierarchy's
+// weight, and whether d is reachable.
+func (q *Query) Cost(s, d roadnet.VertexID) (float64, bool) {
+	c, _, ok := q.run(s, d)
+	return c, ok
+}
+
+// Route returns the shortest path from s to d and its cost. The path is
+// fully unpacked to original road-network vertices.
+func (q *Query) Route(s, d roadnet.VertexID) (roadnet.Path, float64, bool) {
+	cost, meet, ok := q.run(s, d)
+	if !ok {
+		return nil, 0, false
+	}
+	// Reconstruct the packed upward paths to the meeting vertex, then
+	// unpack shortcuts.
+	upSeq := q.packedChain(&q.fwd, meet)   // s .. meet
+	downSeq := q.packedChain(&q.bwd, meet) // d .. meet
+	path := make(roadnet.Path, 0, len(upSeq)+len(downSeq))
+	path = append(path, s)
+	for i := len(upSeq) - 1; i >= 0; i-- {
+		path = q.appendUnpacked(path, upSeq[i].from, upSeq[i].to, upSeq[i].via)
+	}
+	for _, link := range downSeq {
+		// Backward-side arcs run to->from in original direction
+		// (we searched the reverse graph), so unpack from..to flipped.
+		path = q.appendUnpacked(path, link.to, link.from, link.via)
+	}
+	return path, cost, true
+}
+
+// packedLink is one arc of a packed (possibly shortcut) chain.
+type packedLink struct {
+	from, to, via roadnet.VertexID
+}
+
+// packedChain walks parents from the meeting vertex back to the search
+// origin, returning the arcs in meet-to-origin order.
+func (q *Query) packedChain(s *searchSide, meet roadnet.VertexID) []packedLink {
+	var links []packedLink
+	v := meet
+	for {
+		p := s.parent[v]
+		if p == roadnet.NoVertex || s.seen[v] != s.epoch {
+			break
+		}
+		links = append(links, packedLink{from: p, to: v, via: s.via[v]})
+		v = p
+	}
+	return links
+}
+
+// appendUnpacked appends the vertices of the (possibly shortcut) arc
+// from->to after the current last path vertex, excluding from itself.
+func (q *Query) appendUnpacked(path roadnet.Path, from, to, via roadnet.VertexID) roadnet.Path {
+	if via == roadnet.NoVertex {
+		return append(path, to)
+	}
+	// A shortcut u->t via v is the concatenation of the best u->v and
+	// v->t arcs at the time of contraction. Those arcs live in the
+	// hierarchy adjacency of v: v's up/down lists hold its arcs to
+	// higher-ranked endpoints, and u, t outrank v by construction.
+	uv, okUV := q.arcInto(via, from)
+	vt, okVT := q.arcFrom(via, to)
+	if !okUV || !okVT {
+		// Should not happen for a well-formed hierarchy; degrade to
+		// the endpoints so the result remains a vertex sequence.
+		return append(path, via, to)
+	}
+	path = q.appendUnpacked(path, from, via, uv)
+	return q.appendUnpacked(path, via, to, vt)
+}
+
+// arcInto finds the arc from `from` into v among v's recorded arcs and
+// returns its shortcut middle (NoVertex for an original edge).
+func (q *Query) arcInto(v, from roadnet.VertexID) (roadnet.VertexID, bool) {
+	for _, a := range q.h.down[v] {
+		if a.to == from {
+			return a.via, true
+		}
+	}
+	return roadnet.NoVertex, false
+}
+
+// arcFrom finds the arc from v to `to` among v's recorded arcs.
+func (q *Query) arcFrom(v, to roadnet.VertexID) (roadnet.VertexID, bool) {
+	for _, a := range q.h.up[v] {
+		if a.to == to {
+			return a.via, true
+		}
+	}
+	return roadnet.NoVertex, false
+}
+
+// run executes the bidirectional upward search and returns the best
+// cost, the meeting vertex, and whether a path exists.
+func (q *Query) run(s, d roadnet.VertexID) (float64, roadnet.VertexID, bool) {
+	h := q.h
+	q.fwd.reset()
+	q.bwd.reset()
+	q.fwd.set(s, 0, roadnet.NoVertex, roadnet.NoVertex)
+	q.bwd.set(d, 0, roadnet.NoVertex, roadnet.NoVertex)
+	q.fwd.pq.Push(int(s), 0)
+	q.bwd.pq.Push(int(d), 0)
+
+	best := math.Inf(1)
+	meet := roadnet.NoVertex
+
+	relax := func(side *searchSide, arcs [][]arc, other *searchSide) {
+		v, dv := side.pq.Pop()
+		if dv > side.d(roadnet.VertexID(v)) {
+			return
+		}
+		if od := other.d(roadnet.VertexID(v)); dv+od < best {
+			best = dv + od
+			meet = roadnet.VertexID(v)
+		}
+		for _, a := range arcs[v] {
+			nd := dv + a.cost
+			if nd < side.d(a.to) {
+				side.set(a.to, nd, roadnet.VertexID(v), a.via)
+				side.pq.Push(int(a.to), nd)
+			}
+		}
+	}
+
+	for q.fwd.pq.Len() > 0 || q.bwd.pq.Len() > 0 {
+		// Stop when both frontiers exceed the best tentative cost.
+		minF, minB := math.Inf(1), math.Inf(1)
+		if q.fwd.pq.Len() > 0 {
+			_, minF = peek(q.fwd.pq)
+		}
+		if q.bwd.pq.Len() > 0 {
+			_, minB = peek(q.bwd.pq)
+		}
+		if minF >= best && minB >= best {
+			break
+		}
+		if minF <= minB && q.fwd.pq.Len() > 0 {
+			relax(&q.fwd, h.up, &q.bwd)
+		} else if q.bwd.pq.Len() > 0 {
+			relax(&q.bwd, h.down, &q.fwd)
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, roadnet.NoVertex, false
+	}
+	return best, meet, true
+}

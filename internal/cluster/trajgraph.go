@@ -1,0 +1,162 @@
+// Package cluster implements Section IV-A of the paper: the trajectory
+// graph (road-network vertices and edges actually traversed by
+// trajectories, weighted by popularity), modularity gain, and the
+// bottom-up agglomerative clustering of Algorithm 1 that groups vertices
+// into regions under the road-type constraint of Table I.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/roadnet"
+)
+
+// TrajectoryGraph is the undirected popularity-weighted graph induced by
+// a trajectory set: its vertices are the road-network vertices visited by
+// at least one trajectory, and its edges the road segments traversed,
+// weighted by the number of traversing trajectories (popularity s_ij).
+type TrajectoryGraph struct {
+	g *roadnet.Graph
+	// verts maps trajectory-graph index -> road-network vertex.
+	verts []roadnet.VertexID
+	// index maps road-network vertex -> trajectory-graph index.
+	index map[roadnet.VertexID]int
+	// adj[i][j] holds the popularity and per-road-type popularity of the
+	// undirected edge between trajectory-graph vertices i and j.
+	adj []map[int]*tgEdge
+	// totalS is S = Σ s_ij over undirected edges.
+	totalS float64
+}
+
+type tgEdge struct {
+	s     float64
+	types [roadnet.NumRoadTypes]float64
+}
+
+// roadType returns the dominant road type of the (possibly merged) edge.
+func (e *tgEdge) roadType() roadnet.RoadType {
+	best := roadnet.RoadType(0)
+	for t := roadnet.RoadType(1); t < roadnet.NumRoadTypes; t++ {
+		if e.types[t] > e.types[best] {
+			best = t
+		}
+	}
+	return best
+}
+
+// BuildTrajectoryGraph builds the trajectory graph of the given paths
+// over road network g. Paths shorter than two vertices are ignored, as
+// are path steps with no corresponding road edge.
+func BuildTrajectoryGraph(g *roadnet.Graph, paths []roadnet.Path) *TrajectoryGraph {
+	tg := &TrajectoryGraph{g: g, index: make(map[roadnet.VertexID]int)}
+	idxOf := func(v roadnet.VertexID) int {
+		if i, ok := tg.index[v]; ok {
+			return i
+		}
+		i := len(tg.verts)
+		tg.index[v] = i
+		tg.verts = append(tg.verts, v)
+		tg.adj = append(tg.adj, make(map[int]*tgEdge))
+		return i
+	}
+	for _, p := range paths {
+		for k := 1; k < len(p); k++ {
+			e := g.FindEdge(p[k-1], p[k])
+			if e == roadnet.NoEdge {
+				continue
+			}
+			i, j := idxOf(p[k-1]), idxOf(p[k])
+			if i == j {
+				continue
+			}
+			rt := g.Edge(e).Type
+			tg.bump(i, j, rt)
+			tg.bump(j, i, rt)
+			tg.totalS++
+		}
+	}
+	return tg
+}
+
+func (tg *TrajectoryGraph) bump(i, j int, rt roadnet.RoadType) {
+	e := tg.adj[i][j]
+	if e == nil {
+		e = &tgEdge{}
+		tg.adj[i][j] = e
+	}
+	e.s++
+	e.types[rt]++
+}
+
+// NumVertices returns the number of visited vertices.
+func (tg *TrajectoryGraph) NumVertices() int { return len(tg.verts) }
+
+// NumEdges returns the number of undirected trajectory-graph edges.
+func (tg *TrajectoryGraph) NumEdges() int {
+	n := 0
+	for _, m := range tg.adj {
+		n += len(m)
+	}
+	return n / 2
+}
+
+// TotalPopularity returns S, the sum of edge popularities.
+func (tg *TrajectoryGraph) TotalPopularity() float64 { return tg.totalS }
+
+// Vertex returns the road-network vertex behind trajectory-graph index i.
+func (tg *TrajectoryGraph) Vertex(i int) roadnet.VertexID { return tg.verts[i] }
+
+// Contains reports whether road vertex v was visited by any trajectory.
+func (tg *TrajectoryGraph) Contains(v roadnet.VertexID) bool {
+	_, ok := tg.index[v]
+	return ok
+}
+
+// EdgePopularity returns s_ij for the road vertices u, v, or 0.
+func (tg *TrajectoryGraph) EdgePopularity(u, v roadnet.VertexID) float64 {
+	i, ok := tg.index[u]
+	if !ok {
+		return 0
+	}
+	j, ok := tg.index[v]
+	if !ok {
+		return 0
+	}
+	if e := tg.adj[i][j]; e != nil {
+		return e.s
+	}
+	return 0
+}
+
+// VertexPopularity returns S_i = Σ_j s_ij for road vertex v.
+func (tg *TrajectoryGraph) VertexPopularity(v roadnet.VertexID) float64 {
+	i, ok := tg.index[v]
+	if !ok {
+		return 0
+	}
+	var s float64
+	for _, e := range tg.adj[i] {
+		s += e.s
+	}
+	return s
+}
+
+// Region is a cluster of road-network vertices produced by Algorithm 1.
+type Region struct {
+	// ID is the dense region identifier assigned by Cluster.
+	ID int
+	// Members lists the road-network vertices in the region.
+	Members []roadnet.VertexID
+	// RoadType is the road type of the region's internal edges; for a
+	// single-vertex region it is the dominant type of its incident
+	// trajectory-graph edges (or Residential if none).
+	RoadType roadnet.RoadType
+	// Popularity is the aggregate vertex popularity at the time the
+	// region was finalized.
+	Popularity float64
+}
+
+// sortMembers canonicalizes member order for deterministic output.
+func (r *Region) sortMembers() {
+	sort.Slice(r.Members, func(i, j int) bool { return r.Members[i] < r.Members[j] })
+}

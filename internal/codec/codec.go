@@ -1,0 +1,96 @@
+// Package codec provides the framed, checksummed gob container used to
+// persist built L2R routing infrastructure. The offline pipeline of the
+// paper (clustering, preference learning, transfer) takes minutes to
+// hours at scale — Section VII-C reports up to 245 minutes for D1 — so
+// a production deployment builds once and ships the artifact; this
+// package defines that artifact's on-disk framing.
+//
+// Frame layout:
+//
+//	magic   [4]byte  "L2RA"
+//	version uint16   big-endian, supplied by the caller
+//	length  uint64   big-endian payload byte count
+//	sum     uint64   big-endian FNV-64a of the payload
+//	payload []byte   gob stream
+//
+// Readers verify magic, version, length and checksum before decoding,
+// so truncated or corrupted artifacts fail loudly instead of yielding a
+// half-initialized router.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+var magic = [4]byte{'L', '2', 'R', 'A'}
+
+// Errors returned by ReadFrame. Wrapped with context; test with
+// errors.Is.
+var (
+	ErrBadMagic   = errors.New("codec: bad magic (not an L2R artifact)")
+	ErrBadVersion = errors.New("codec: unsupported artifact version")
+	ErrCorrupt    = errors.New("codec: checksum mismatch (artifact corrupted)")
+)
+
+// WriteFrame gob-encodes payload and writes one checksummed frame.
+func WriteFrame(w io.Writer, version uint16, payload any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return fmt.Errorf("codec: encoding payload: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+
+	var header [4 + 2 + 8 + 8]byte
+	copy(header[:4], magic[:])
+	binary.BigEndian.PutUint16(header[4:6], version)
+	binary.BigEndian.PutUint64(header[6:14], uint64(buf.Len()))
+	binary.BigEndian.PutUint64(header[14:22], h.Sum64())
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("codec: writing header: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("codec: writing payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, verifies integrity and decodes the payload
+// into out (a pointer).
+func ReadFrame(r io.Reader, version uint16, out any) error {
+	var header [4 + 2 + 8 + 8]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return fmt.Errorf("codec: reading header: %w", err)
+	}
+	if !bytes.Equal(header[:4], magic[:]) {
+		return ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(header[4:6]); v != version {
+		return fmt.Errorf("%w: artifact v%d, reader v%d", ErrBadVersion, v, version)
+	}
+	n := binary.BigEndian.Uint64(header[6:14])
+	want := binary.BigEndian.Uint64(header[14:22])
+	const maxPayload = 1 << 34 // 16 GiB sanity bound
+	if n > maxPayload {
+		return fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("%w: short payload: %v", ErrCorrupt, err)
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != want {
+		return ErrCorrupt
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("codec: decoding payload: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,431 @@
+// Package core assembles the paper's three steps into the learn-to-route
+// (L2R) system: trajectory-based region-graph construction (Section IV),
+// preference learning and transfer (Section V), and unified routing for
+// arbitrary (source, destination) pairs (Section VI). The exported l2r
+// package at the repository root is a thin facade over this package.
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/geo"
+	"repro/internal/mapmatch"
+	"repro/internal/pref"
+	"repro/internal/region"
+	"repro/internal/roadnet"
+	"repro/internal/route"
+	"repro/internal/spatial"
+	"repro/internal/traj"
+	"repro/internal/transfer"
+)
+
+// ClusterMethod selects the region-construction algorithm. The paper's
+// modularity clustering is the default; the related-work methods of
+// Section II are available for end-to-end ablations.
+type ClusterMethod uint8
+
+// Clustering methods.
+const (
+	// ClusterModularity is the paper's parameter-free Algorithm 1.
+	ClusterModularity ClusterMethod = iota
+	// ClusterGrid is the grid-based method of Wei et al. (KDD 2012).
+	ClusterGrid
+	// ClusterHierarchy is the road-hierarchy partition of Gonzalez et
+	// al. (VLDB 2007).
+	ClusterHierarchy
+)
+
+// Options configures the offline pipeline.
+type Options struct {
+	// ClusterMethod selects the clustering algorithm (default: the
+	// paper's modularity clustering).
+	ClusterMethod ClusterMethod
+	// Cluster tunes the modularity clustering (ablation switches only;
+	// the algorithm itself is parameter-free).
+	Cluster cluster.Options
+	// Grid tunes ClusterGrid; Hierarchy tunes ClusterHierarchy.
+	Grid      cluster.GridClusterOptions
+	Hierarchy cluster.HierarchyPartitionOptions
+	// Region tunes region-graph construction.
+	Region region.Options
+	// Transfer tunes the preference transduction; the zero value means
+	// transfer.DefaultConfig().
+	Transfer transfer.Config
+	// MapMatch tunes the HMM map matcher.
+	MapMatch mapmatch.Config
+	// SkipMapMatching trusts trajectory ground-truth paths instead of
+	// map matching raw GPS records. Tests and some experiments use it to
+	// decouple pipeline stages; the default (false) exercises the full
+	// path from raw GPS records to routing.
+	SkipMapMatching bool
+	// LearnMaxPaths caps the per-T-edge path sample during preference
+	// learning; 0 keeps the learner default.
+	LearnMaxPaths int
+	// Workers bounds pipeline parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// IndexCellM is the spatial-index cell size (default 300 m).
+	IndexCellM float64
+	// MinConfidence is the training similarity a learned preference
+	// must reach to be applied at query time and used as a transfer
+	// label; below it the fastest-path behaviour stands in (default
+	// 0.7; set negative to disable gating).
+	MinConfidence float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Transfer == (transfer.Config{}) {
+		o.Transfer = transfer.DefaultConfig()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.IndexCellM == 0 {
+		o.IndexCellM = 300
+	}
+	if o.MinConfidence == 0 {
+		o.MinConfidence = 0.7
+	}
+	return o
+}
+
+// Stats records offline pipeline measurements; the paper reports the
+// per-phase offline processing times in Section VII-C.
+type Stats struct {
+	Trajectories   int
+	MatchedOK      int
+	Regions        int
+	TEdges, BEdges int
+	LearnedPrefs   int
+	TransferredOK  int
+	NullBEdges     int
+
+	MatchTime       time.Duration
+	ClusterTime     time.Duration
+	LearnTime       time.Duration
+	TransferTime    time.Duration
+	MaterializeTime time.Duration
+}
+
+// Router is a built L2R system, ready to answer routing queries.
+// Building happens once offline; Route is comparatively cheap. A Router
+// is not safe for concurrent use (it owns a route.Engine); Clone creates
+// an independent query handle sharing the immutable region graph.
+type Router struct {
+	road  *roadnet.Graph
+	rg    *region.Graph
+	eng   *route.Engine
+	idx   *spatial.Index
+	stats Stats
+	// learned maps T-edge ID -> learned preference result.
+	learned map[int]pref.Result
+	// regionPrefs maps region ID -> preference learned from the
+	// region's inner paths; used for same-region queries with no exact
+	// inner-path match.
+	regionPrefs map[int]pref.Result
+	// multi holds optional multi-preference fits per T-edge; see
+	// EnableMultiPreferences.
+	multi map[int]pref.MultiResult
+}
+
+// RegionGraph exposes the underlying region graph (read-only use).
+func (r *Router) RegionGraph() *region.Graph { return r.rg }
+
+// Road returns the road network.
+func (r *Router) Road() *roadnet.Graph { return r.road }
+
+// Stats returns offline pipeline statistics.
+func (r *Router) Stats() Stats { return r.stats }
+
+// LearnedPreference returns the learned preference for a T-edge ID.
+func (r *Router) LearnedPreference(edgeID int) (pref.Result, bool) {
+	res, ok := r.learned[edgeID]
+	return res, ok
+}
+
+// Clone returns an independent query handle over the same built system.
+func (r *Router) Clone() *Router {
+	cp := *r
+	cp.eng = route.NewEngine(r.road)
+	return &cp
+}
+
+// Build runs the full offline pipeline over a road network and a
+// training trajectory set.
+func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Router, error) {
+	opt = opt.withDefaults()
+	if road == nil || road.NumVertices() == 0 {
+		return nil, errors.New("core: empty road network")
+	}
+	if len(training) == 0 {
+		return nil, errors.New("core: no training trajectories")
+	}
+
+	r := &Router{road: road, idx: spatial.NewIndex(road, opt.IndexCellM)}
+	r.stats.Trajectories = len(training)
+
+	// Phase 0: map matching (parallel).
+	start := time.Now()
+	paths := make([]roadnet.Path, 0, len(training))
+	if opt.SkipMapMatching {
+		for _, t := range training {
+			t.Matched = t.Truth
+			paths = append(paths, t.Truth)
+		}
+		r.stats.MatchedOK = len(paths)
+	} else {
+		matchAll(road, r.idx, training, opt)
+		for _, t := range training {
+			if len(t.Matched) >= 2 {
+				paths = append(paths, t.Matched)
+				r.stats.MatchedOK++
+			}
+		}
+	}
+	r.stats.MatchTime = time.Since(start)
+	if len(paths) == 0 {
+		return nil, errors.New("core: map matching produced no usable paths")
+	}
+
+	// Phase 1: clustering and region graph.
+	start = time.Now()
+	var regions []cluster.Region
+	switch opt.ClusterMethod {
+	case ClusterGrid:
+		regions = cluster.GridCluster(road, paths, opt.Grid)
+	case ClusterHierarchy:
+		regions = cluster.HierarchyPartition(road, paths, opt.Hierarchy)
+	default:
+		tg := cluster.BuildTrajectoryGraph(road, paths)
+		regions = cluster.Cluster(tg, opt.Cluster)
+	}
+	rg := region.Build(road, regions, paths, opt.Region)
+	rg.ConnectBFS()
+	r.rg = rg
+	r.stats.ClusterTime = time.Since(start)
+	r.stats.Regions = rg.NumRegions()
+	r.stats.TEdges = rg.TEdgeCount()
+	r.stats.BEdges = rg.BEdgeCount()
+
+	// Phase 2a: learn preferences for T-edges and regions (parallel).
+	start = time.Now()
+	r.learned = learnAll(road, rg, opt)
+	r.regionPrefs = learnRegions(road, rg, opt)
+	r.stats.LearnTime = time.Since(start)
+	r.stats.LearnedPrefs = len(r.learned)
+
+	// Phase 2b: transfer preferences to B-edges. Only confidently
+	// learned preferences serve as labels; low-similarity fits would
+	// propagate noise.
+	start = time.Now()
+	labeled := make([]transfer.Labeled, 0, len(r.learned))
+	for id, res := range r.learned {
+		if res.Similarity >= opt.MinConfidence {
+			labeled = append(labeled, transfer.Labeled{EdgeID: id, Pref: res.Preference})
+		}
+	}
+	sortLabeled(labeled)
+	var targets []int
+	for _, e := range rg.Edges {
+		if e.Kind == region.BEdge {
+			targets = append(targets, e.ID)
+		}
+	}
+	res := transfer.Run(rg, labeled, targets, opt.Transfer)
+	r.stats.TransferTime = time.Since(start)
+	r.stats.TransferredOK = len(res.Pref)
+	r.stats.NullBEdges = len(res.Null)
+
+	// Record confidently learned preferences on the T-edges themselves.
+	for id, lr := range r.learned {
+		if lr.Similarity >= opt.MinConfidence {
+			rg.Edges[id].Pref = lr.Preference
+			rg.Edges[id].HasPref = true
+		}
+	}
+	// Gate region preferences the same way.
+	for id, lr := range r.regionPrefs {
+		if lr.Similarity < opt.MinConfidence {
+			delete(r.regionPrefs, id)
+		}
+	}
+
+	// Phase 3: materialize B-edge paths.
+	start = time.Now()
+	transfer.Materialize(rg, res, &engineFinder{eng: route.NewEngine(road)})
+	r.stats.MaterializeTime = time.Since(start)
+
+	r.eng = route.NewEngine(road)
+	return r, nil
+}
+
+// sortLabeled orders labeled edges by ID for deterministic matrices.
+func sortLabeled(ls []transfer.Labeled) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].EdgeID < ls[j-1].EdgeID; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+type engineFinder struct{ eng *route.Engine }
+
+func (f *engineFinder) FindPath(p pref.Preference, s, d roadnet.VertexID) (roadnet.Path, bool) {
+	path, _, ok := f.eng.RoutePref(s, d, p.Master, p.Slave.Predicate())
+	return path, ok
+}
+
+func (f *engineFinder) FastestPath(s, d roadnet.VertexID) (roadnet.Path, bool) {
+	path, _, ok := f.eng.Fastest(s, d)
+	return path, ok
+}
+
+func matchAll(road *roadnet.Graph, idx *spatial.Index, ts []*traj.Trajectory, opt Options) {
+	var wg sync.WaitGroup
+	ch := make(chan *traj.Trajectory, len(ts))
+	for _, t := range ts {
+		ch <- t
+	}
+	close(ch)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := mapmatch.NewMatcher(road, idx, opt.MapMatch)
+			for t := range ch {
+				points := make([]geo.Point, len(t.Records))
+				for i, rec := range t.Records {
+					points[i] = rec.P
+				}
+				t.Matched = m.Match(points)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// learnRegions learns one intra-region preference per region from its
+// inner paths, preferring true local trips (Terminal) over segments of
+// journeys passing through.
+func learnRegions(road *roadnet.Graph, rg *region.Graph, opt Options) map[int]pref.Result {
+	type job struct {
+		id    int
+		paths []roadnet.Path
+	}
+	var jobs []job
+	for reg := 0; reg < rg.NumRegions(); reg++ {
+		var terminal, others []roadnet.Path
+		for _, ip := range rg.InnerPaths(reg) {
+			if len(ip.Path) < 3 {
+				continue // trivial two-vertex hops carry no signal
+			}
+			if ip.Terminal > 0 {
+				terminal = append(terminal, ip.Path)
+			} else {
+				others = append(others, ip.Path)
+			}
+		}
+		ps := terminal
+		if len(ps) < 2 {
+			ps = append(ps, others...)
+		}
+		if len(ps) > 0 {
+			jobs = append(jobs, job{id: reg, paths: ps})
+		}
+	}
+	out := make(map[int]pref.Result, len(jobs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ch := make(chan job, len(jobs))
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := pref.NewLearner(road)
+			if opt.LearnMaxPaths > 0 {
+				l.MaxPaths = opt.LearnMaxPaths
+			}
+			for j := range ch {
+				res := l.Learn(j.paths)
+				mu.Lock()
+				out[j.id] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// learnAll learns a preference per T-edge, in parallel. T-edges whose
+// path sets span both directions are learned from the union.
+func learnAll(road *roadnet.Graph, rg *region.Graph, opt Options) map[int]pref.Result {
+	type job struct {
+		id    int
+		paths []roadnet.Path
+	}
+	var jobs []job
+	for _, e := range rg.Edges {
+		if e.Kind != region.TEdge {
+			continue
+		}
+		// Terminal fragments — full trips between exactly this region
+		// pair — carry the pair's own routing preference undiluted;
+		// fragments of trajectories merely passing through mix in the
+		// preferences of other region pairs. Learn from terminal
+		// fragments whenever enough exist.
+		var terminal, others []roadnet.Path
+		for _, set := range [][]region.PathInfo{e.PathsFwd, e.PathsRev} {
+			for _, pi := range set {
+				if pi.Terminal > 0 {
+					terminal = append(terminal, pi.Path)
+				} else {
+					others = append(others, pi.Path)
+				}
+			}
+		}
+		// Two or more terminal fragments are trusted on their own; a
+		// single one could be a noise trip, so it is pooled with the
+		// pass-through fragments.
+		ps := terminal
+		if len(ps) < 2 {
+			ps = append(ps, others...)
+		}
+		if len(ps) > 0 {
+			jobs = append(jobs, job{id: e.ID, paths: ps})
+		}
+	}
+	out := make(map[int]pref.Result, len(jobs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ch := make(chan job, len(jobs))
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := pref.NewLearner(road)
+			if opt.LearnMaxPaths > 0 {
+				l.MaxPaths = opt.LearnMaxPaths
+			}
+			for j := range ch {
+				res := l.Learn(j.paths)
+				mu.Lock()
+				out[j.id] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

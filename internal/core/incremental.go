@@ -1,0 +1,114 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/pref"
+	"repro/internal/region"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// IngestOptions tunes incremental trajectory ingestion.
+type IngestOptions struct {
+	// SkipMapMatching trusts trajectory ground-truth paths (same switch
+	// as Options.SkipMapMatching).
+	SkipMapMatching bool
+	// MapMatch configures the matcher when map matching runs.
+	MinConfidence float64
+	// RebuildThreshold is the staleness ratio above which
+	// RebuildRecommended is set (default 0.2).
+	RebuildThreshold float64
+	// MaxRelearn caps how many touched edges are relearned per call
+	// (0 = all). Production deployments use it to bound ingest latency.
+	MaxRelearn int
+}
+
+func (o IngestOptions) withDefaults() IngestOptions {
+	if o.MinConfidence == 0 {
+		o.MinConfidence = 0.7
+	}
+	if o.RebuildThreshold == 0 {
+		o.RebuildThreshold = 0.2
+	}
+	return o
+}
+
+// IngestStats reports one incremental update.
+type IngestStats struct {
+	region.UpdateStats
+	// Relearned counts edges whose preference was re-fit.
+	Relearned int
+	// RebuildRecommended is set when the share of new traffic outside
+	// existing regions exceeds the threshold — the signal that the
+	// fixed clustering has gone stale and a full Build is due (the
+	// paper's "time-varying region graph" future work).
+	RebuildRecommended bool
+	// Elapsed is the total ingest wall time.
+	Elapsed time.Duration
+}
+
+// Ingest feeds new trajectories into the built router without a full
+// rebuild: region assignment stays fixed, T-edge path sets and
+// inner-region paths grow, B-edges covered by the new data upgrade to
+// T-edges, and the preferences of exactly the touched edges are
+// re-learned. This implements the supported portion of the paper's
+// "real-time region graph updates" future work.
+func (r *Router) Ingest(ts []*traj.Trajectory, opt IngestOptions) IngestStats {
+	opt = opt.withDefaults()
+	start := time.Now()
+
+	paths := make([]roadnet.Path, 0, len(ts))
+	if opt.SkipMapMatching {
+		for _, t := range ts {
+			t.Matched = t.Truth
+			if len(t.Truth) >= 2 {
+				paths = append(paths, t.Truth)
+			}
+		}
+	} else {
+		matchAll(r.road, r.idx, ts, Options{Workers: 1})
+		for _, t := range ts {
+			if len(t.Matched) >= 2 {
+				paths = append(paths, t.Matched)
+			}
+		}
+	}
+
+	var st IngestStats
+	st.UpdateStats = r.rg.AddPaths(paths, region.Options{})
+	st.RebuildRecommended = st.StalenessRatio() > opt.RebuildThreshold
+
+	// Re-learn preferences for the touched edges only.
+	learner := pref.NewLearner(r.road)
+	relearn := st.TouchedEdges
+	if opt.MaxRelearn > 0 && len(relearn) > opt.MaxRelearn {
+		relearn = relearn[:opt.MaxRelearn]
+	}
+	for _, id := range relearn {
+		e := r.rg.Edges[id]
+		var ps []roadnet.Path
+		for _, pi := range e.PathsFwd {
+			ps = append(ps, pi.Path)
+		}
+		for _, pi := range e.PathsRev {
+			ps = append(ps, pi.Path)
+		}
+		if len(ps) == 0 {
+			continue
+		}
+		res := learner.Learn(ps)
+		r.learned[id] = res
+		if res.Similarity >= opt.MinConfidence {
+			e.Pref = res.Preference
+			e.HasPref = true
+		} else {
+			e.HasPref = false
+		}
+		st.Relearned++
+	}
+	r.stats.TEdges = r.rg.TEdgeCount()
+	r.stats.BEdges = r.rg.BEdgeCount()
+	st.Elapsed = time.Since(start)
+	return st
+}

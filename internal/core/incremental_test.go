@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/region"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// splitWorld builds a router from the first 60% of a simulated
+// trajectory stream and returns the remaining 40% for ingestion.
+func splitWorld(tb testing.TB, seed int64) (*Router, []*traj.Trajectory) {
+	tb.Helper()
+	road := roadnet.Generate(roadnet.Tiny(seed))
+	sim := traj.NewSimulator(road, traj.D2Like(seed, 500))
+	ts := sim.Run()
+	cut := len(ts) * 6 / 10
+	r, err := Build(road, ts[:cut], Options{SkipMapMatching: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r, ts[cut:]
+}
+
+func TestIngestGrowsTEdges(t *testing.T) {
+	r, fresh := splitWorld(t, 23)
+	before := r.rg.TEdgeCount()
+	st := r.Ingest(fresh, IngestOptions{SkipMapMatching: true})
+	if st.Paths != len(fresh) {
+		t.Fatalf("Paths = %d, want %d", st.Paths, len(fresh))
+	}
+	after := r.rg.TEdgeCount()
+	if after < before {
+		t.Fatalf("T-edge count fell from %d to %d", before, after)
+	}
+	if after != before+st.UpgradedEdges+st.NewEdges {
+		t.Fatalf("T-edges %d -> %d but upgrades=%d new=%d", before, after, st.UpgradedEdges, st.NewEdges)
+	}
+	if st.Relearned == 0 && len(st.TouchedEdges) > 0 {
+		t.Fatal("touched edges but nothing relearned")
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded")
+	}
+}
+
+func TestIngestKeepsRouterServing(t *testing.T) {
+	r, fresh := splitWorld(t, 29)
+	r.Ingest(fresh, IngestOptions{SkipMapMatching: true})
+	n := r.road.NumVertices()
+	answered := 0
+	for i := 0; i < 30; i++ {
+		s := roadnet.VertexID((i * 37) % n)
+		d := roadnet.VertexID((i*53 + 11) % n)
+		res := r.Route(s, d)
+		if len(res.Path) > 0 {
+			answered++
+			if !res.Path.Valid(r.road) {
+				t.Fatalf("invalid path after ingest: %v", res.Path)
+			}
+		}
+	}
+	if answered == 0 {
+		t.Fatal("router answered no queries after ingest")
+	}
+}
+
+func TestIngestUpgradedBEdgesLoseTransferredState(t *testing.T) {
+	r, fresh := splitWorld(t, 31)
+	// Record the B-edges before ingest.
+	bBefore := make(map[int]bool)
+	for _, e := range r.rg.Edges {
+		if e.Kind == region.BEdge {
+			bBefore[e.ID] = true
+		}
+	}
+	st := r.Ingest(fresh, IngestOptions{SkipMapMatching: true})
+	for _, id := range st.TouchedEdges {
+		e := r.rg.Edges[id]
+		if e.Kind != region.TEdge {
+			t.Fatalf("touched edge %d is not a T-edge", id)
+		}
+		if !bBefore[id] {
+			continue
+		}
+		// Upgraded edge: all paths must come from the new trajectories
+		// (real traversals), so every PathInfo has Count >= 1 and the
+		// path set is non-empty in at least one direction.
+		if len(e.PathsFwd)+len(e.PathsRev) == 0 {
+			t.Fatalf("upgraded edge %d has no paths", id)
+		}
+	}
+}
+
+func TestIngestStalenessSignal(t *testing.T) {
+	r, fresh := splitWorld(t, 37)
+	// With a tiny threshold, any out-of-region traffic triggers the
+	// rebuild recommendation; with threshold 1.0 nothing does.
+	stLow := r.Clone().Ingest(fresh, IngestOptions{SkipMapMatching: true, RebuildThreshold: 1e-9})
+	if stLow.OutOfRegionVertices > 0 && !stLow.RebuildRecommended {
+		t.Fatal("staleness above threshold but no rebuild recommendation")
+	}
+	r2, fresh2 := splitWorld(t, 37)
+	stHigh := r2.Ingest(fresh2, IngestOptions{SkipMapMatching: true, RebuildThreshold: 2})
+	if stHigh.RebuildRecommended {
+		t.Fatal("rebuild recommended despite threshold 2")
+	}
+	if got := stHigh.StalenessRatio(); got < 0 || got > 1 {
+		t.Fatalf("staleness ratio %g outside [0,1]", got)
+	}
+}
+
+func TestIngestMaxRelearnCap(t *testing.T) {
+	r, fresh := splitWorld(t, 41)
+	st := r.Ingest(fresh, IngestOptions{SkipMapMatching: true, MaxRelearn: 1})
+	if st.Relearned > 1 {
+		t.Fatalf("Relearned = %d with MaxRelearn = 1", st.Relearned)
+	}
+}
+
+func TestIngestEmpty(t *testing.T) {
+	r, _ := splitWorld(t, 43)
+	st := r.Ingest(nil, IngestOptions{SkipMapMatching: true})
+	if st.Paths != 0 || st.Relearned != 0 || len(st.TouchedEdges) != 0 {
+		t.Fatalf("empty ingest produced %+v", st)
+	}
+	if st.StalenessRatio() != 0 {
+		t.Fatal("empty ingest has nonzero staleness")
+	}
+}
+
+// TestIngestEquivalentAccuracy checks ingestion does not degrade
+// routing on previously served queries' structure: categories remain
+// valid and paths stay connected.
+func TestIngestMapMatchedPath(t *testing.T) {
+	r, fresh := splitWorld(t, 47)
+	if len(fresh) > 20 {
+		fresh = fresh[:20]
+	}
+	st := r.Ingest(fresh, IngestOptions{})
+	// Map matching may drop some, but the machinery must not panic and
+	// stats must be consistent.
+	if st.Paths > len(fresh) {
+		t.Fatalf("Paths = %d > input %d", st.Paths, len(fresh))
+	}
+}

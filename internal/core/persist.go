@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/pref"
+	"repro/internal/region"
+	"repro/internal/roadnet"
+	"repro/internal/route"
+	"repro/internal/spatial"
+)
+
+// ArtifactVersion is the on-disk format version of saved routers. Bump
+// it on any change to the envelope layout.
+const ArtifactVersion uint16 = 1
+
+// envelope is the gob payload of a saved router. The road network is
+// embedded as its TSV serialization (the already-tested roadnet codec)
+// so an artifact is self-contained.
+type envelope struct {
+	RoadTSV     []byte
+	Region      *region.Snapshot
+	Learned     map[int]pref.Result
+	RegionPrefs map[int]pref.Result
+	Stats       Stats
+	IndexCellM  float64
+}
+
+// Save serializes the built router — road network, region graph,
+// learned and transferred preferences, pipeline statistics — as one
+// self-contained, checksummed artifact. The offline build takes minutes
+// at scale (Section VII-C reports 21+245+106+7 minutes for D1); Save
+// and Load let a deployment pay it once.
+func (r *Router) Save(w io.Writer) error {
+	var road bytes.Buffer
+	if err := roadnet.WriteTSV(&road, r.road); err != nil {
+		return fmt.Errorf("core: serializing road network: %w", err)
+	}
+	env := envelope{
+		RoadTSV:     road.Bytes(),
+		Region:      r.rg.Snapshot(),
+		Learned:     r.learned,
+		RegionPrefs: r.regionPrefs,
+		Stats:       r.stats,
+		IndexCellM:  r.idx.CellSize(),
+	}
+	return codec.WriteFrame(w, ArtifactVersion, &env)
+}
+
+// Load reconstructs a router from an artifact written by Save. The
+// result answers queries exactly like the original.
+func Load(rd io.Reader) (*Router, error) {
+	var env envelope
+	if err := codec.ReadFrame(rd, ArtifactVersion, &env); err != nil {
+		return nil, err
+	}
+	road, err := roadnet.ReadTSV(bytes.NewReader(env.RoadTSV))
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding road network: %w", err)
+	}
+	if env.Region == nil {
+		return nil, fmt.Errorf("core: artifact has no region graph")
+	}
+	rg, err := region.Restore(road, env.Region)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring region graph: %w", err)
+	}
+	cell := env.IndexCellM
+	if cell <= 0 {
+		cell = 300
+	}
+	r := &Router{
+		road:        road,
+		rg:          rg,
+		eng:         route.NewEngine(road),
+		idx:         spatial.NewIndex(road, cell),
+		stats:       env.Stats,
+		learned:     env.Learned,
+		regionPrefs: env.RegionPrefs,
+	}
+	if r.learned == nil {
+		r.learned = make(map[int]pref.Result)
+	}
+	if r.regionPrefs == nil {
+		r.regionPrefs = make(map[int]pref.Result)
+	}
+	return r, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// builtRouter builds a small router once for the persistence tests.
+func builtRouter(tb testing.TB) *Router {
+	tb.Helper()
+	road := roadnet.Generate(roadnet.Tiny(17))
+	sim := traj.NewSimulator(road, traj.D2Like(17, 400))
+	ts := sim.Run()
+	r, err := Build(road, ts, Options{SkipMapMatching: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := builtRouter(t)
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural equivalence.
+	if loaded.rg.NumRegions() != r.rg.NumRegions() {
+		t.Fatalf("regions %d != %d", loaded.rg.NumRegions(), r.rg.NumRegions())
+	}
+	if len(loaded.rg.Edges) != len(r.rg.Edges) {
+		t.Fatalf("edges %d != %d", len(loaded.rg.Edges), len(r.rg.Edges))
+	}
+	if loaded.stats.TEdges != r.stats.TEdges || loaded.stats.BEdges != r.stats.BEdges {
+		t.Fatalf("stats mismatch: %+v vs %+v", loaded.stats, r.stats)
+	}
+	if len(loaded.learned) != len(r.learned) {
+		t.Fatalf("learned prefs %d != %d", len(loaded.learned), len(r.learned))
+	}
+
+	// Behavioral equivalence: identical routes for a spread of queries.
+	n := r.road.NumVertices()
+	for i := 0; i < 50; i++ {
+		s := roadnet.VertexID((i * 13) % n)
+		d := roadnet.VertexID((i*29 + 7) % n)
+		want := r.Route(s, d)
+		got := loaded.Route(s, d)
+		if want.Category != got.Category {
+			t.Fatalf("query %d: category %v != %v", i, got.Category, want.Category)
+		}
+		if len(want.Path) != len(got.Path) {
+			t.Fatalf("query %d (%d->%d): path lengths %d != %d", i, s, d, len(got.Path), len(want.Path))
+		}
+		for j := range want.Path {
+			if want.Path[j] != got.Path[j] {
+				t.Fatalf("query %d: paths diverge at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadCorruptArtifact(t *testing.T) {
+	r := builtRouter(t)
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)/2] ^= 0xFF
+	if _, err := Load(bytes.NewReader(b)); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadTruncatedArtifact(t *testing.T) {
+	r := builtRouter(t)
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Load(bytes.NewReader(b[:len(b)*2/3])); err == nil {
+		t.Fatal("truncated artifact loaded without error")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("this is not an artifact at all"))); !errors.Is(err, codec.ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	r := builtRouter(t)
+	var a, b bytes.Buffer
+	if err := r.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Gob encoding of maps is not order-deterministic in general, but
+	// both artifacts must at least load back to equivalent routers.
+	ra, err := Load(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Load(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.rg.NumRegions() != rb.rg.NumRegions() || len(ra.learned) != len(rb.learned) {
+		t.Fatal("two saves of the same router load to different systems")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// TestEvidenceTaxonomy routes many queries and checks the Evidence
+// labels are internally consistent with the rest of the result.
+func TestEvidenceTaxonomy(t *testing.T) {
+	r := builtRouter(t)
+	n := r.road.NumVertices()
+	seen := map[Evidence]int{}
+	for i := 0; i < 200; i++ {
+		s := roadnet.VertexID((i * 13) % n)
+		d := roadnet.VertexID((i*37 + 11) % n)
+		res := r.Route(s, d)
+		seen[res.Evidence]++
+		switch res.Evidence {
+		case EvidenceNone:
+			if len(res.Path) > 1 {
+				t.Fatalf("query %d: EvidenceNone with non-trivial path", i)
+			}
+		case EvidenceInnerPath, EvidenceStitched:
+			if !res.UsedRegionPath {
+				t.Fatalf("query %d: %v without UsedRegionPath", i, res.Evidence)
+			}
+		}
+		if res.UsedRegionPath && res.Evidence == EvidenceNone {
+			t.Fatalf("query %d: region path but no evidence", i)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("only %d evidence kinds exercised: %v", len(seen), seen)
+	}
+	t.Logf("evidence distribution: %v", seen)
+}
+
+// TestEvidenceStrings covers the Stringer.
+func TestEvidenceStrings(t *testing.T) {
+	want := map[Evidence]string{
+		EvidenceNone:        "none",
+		EvidenceInnerPath:   "inner-path",
+		EvidenceExactStored: "exact-stored",
+		EvidencePreference:  "preference",
+		EvidenceStitched:    "stitched",
+		EvidenceFastest:     "fastest",
+	}
+	for e, s := range want {
+		if e.String() != s {
+			t.Fatalf("Evidence(%d).String() = %q, want %q", e, e.String(), s)
+		}
+	}
+}

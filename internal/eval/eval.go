@@ -1,0 +1,302 @@
+// Package eval implements the paper's evaluation harness (Section VII):
+// it runs routing algorithms over test-trajectory queries, scores the
+// answers against ground-truth driver paths with the Eq. 1 and Eq. 4
+// path similarities, measures per-query latency, and aggregates
+// everything by travel-distance bucket and by region category
+// (InRegion / InOutRegion / OutRegion) — the exact breakdowns of
+// Figures 10–13.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/pref"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Algorithm aliases the baseline interface; L2R plugs in via Wrap.
+type Algorithm = baseline.Algorithm
+
+// l2rAlgo adapts a core.Router to the Algorithm interface.
+type l2rAlgo struct{ r *core.Router }
+
+// WrapL2R adapts a built L2R router into an evaluation Algorithm.
+func WrapL2R(r *core.Router) Algorithm { return &l2rAlgo{r: r} }
+
+func (a *l2rAlgo) Name() string { return "L2R" }
+
+func (a *l2rAlgo) Route(q baseline.Query) roadnet.Path {
+	return a.r.Route(q.S, q.D).Path
+}
+
+// Query is one evaluation case: a test trajectory's endpoints plus its
+// ground-truth path.
+type Query struct {
+	baseline.Query
+	GT     roadnet.Path
+	DistKm float64
+	Cat    core.Category
+}
+
+// QueriesFrom builds evaluation queries from test trajectories,
+// categorized against the given router's region graph.
+func QueriesFrom(g *roadnet.Graph, r *core.Router, tests []*traj.Trajectory) []Query {
+	out := make([]Query, 0, len(tests))
+	for _, t := range tests {
+		if len(t.Truth) < 2 {
+			continue
+		}
+		q := Query{
+			Query:  baseline.Query{S: t.Source(), D: t.Destination(), Driver: t.Driver, Peak: t.Peak},
+			GT:     t.Truth,
+			DistKm: t.Truth.Length(g) / 1000,
+		}
+		q.Cat = r.Categorize(q.S, q.D)
+		out = append(out, q)
+	}
+	return out
+}
+
+// Cell aggregates one (algorithm, group) cell.
+type Cell struct {
+	N        int
+	SumEq1   float64
+	SumEq4   float64
+	SumNanos int64
+}
+
+// AccEq1 returns the mean Eq. 1 accuracy in percent.
+func (c Cell) AccEq1() float64 { return pct(c.SumEq1, c.N) }
+
+// AccEq4 returns the mean Eq. 4 accuracy in percent.
+func (c Cell) AccEq4() float64 { return pct(c.SumEq4, c.N) }
+
+// MeanTime returns the mean per-query latency.
+func (c Cell) MeanTime() time.Duration {
+	if c.N == 0 {
+		return 0
+	}
+	return time.Duration(c.SumNanos / int64(c.N))
+}
+
+func pct(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}
+
+// Run holds a full evaluation over a query set.
+type Run struct {
+	BucketsKm []float64
+	// ByDist[alg][bucket] and ByCat[alg][category] aggregate the cells.
+	ByDist map[string][]Cell
+	ByCat  map[string][]Cell
+	// Total[alg] aggregates everything.
+	Total map[string]Cell
+	// PerQuery[alg] keeps the per-query scores in query order, enabling
+	// paired significance tests (see SignTest).
+	PerQuery map[string][]QueryScore
+	// Algorithms preserves insertion order for reporting.
+	Algorithms []string
+}
+
+// QueryScore is one algorithm's result on one query.
+type QueryScore struct {
+	Eq1, Eq4 float64
+	Nanos    int64
+}
+
+// Evaluate runs every algorithm over every query. Buckets are ascending
+// upper bounds in km; queries beyond the last bound land in the last
+// bucket.
+func Evaluate(g *roadnet.Graph, queries []Query, algs []Algorithm, bucketsKm []float64) *Run {
+	run := &Run{
+		BucketsKm: bucketsKm,
+		ByDist:    make(map[string][]Cell),
+		ByCat:     make(map[string][]Cell),
+		Total:     make(map[string]Cell),
+		PerQuery:  make(map[string][]QueryScore),
+	}
+	for _, a := range algs {
+		run.Algorithms = append(run.Algorithms, a.Name())
+		run.ByDist[a.Name()] = make([]Cell, len(bucketsKm))
+		run.ByCat[a.Name()] = make([]Cell, 3)
+	}
+	for _, q := range queries {
+		b := bucketOf(q.DistKm, bucketsKm)
+		for _, a := range algs {
+			start := time.Now()
+			path := a.Route(q.Query)
+			nanos := time.Since(start).Nanoseconds()
+			s1 := pref.SimEq1(g, q.GT, path)
+			s4 := pref.SimEq4(g, q.GT, path)
+			for _, cell := range []*Cell{
+				&run.ByDist[a.Name()][b],
+				&run.ByCat[a.Name()][q.Cat],
+			} {
+				cell.N++
+				cell.SumEq1 += s1
+				cell.SumEq4 += s4
+				cell.SumNanos += nanos
+			}
+			tot := run.Total[a.Name()]
+			tot.N++
+			tot.SumEq1 += s1
+			tot.SumEq4 += s4
+			tot.SumNanos += nanos
+			run.Total[a.Name()] = tot
+			run.PerQuery[a.Name()] = append(run.PerQuery[a.Name()], QueryScore{Eq1: s1, Eq4: s4, Nanos: nanos})
+		}
+	}
+	return run
+}
+
+func bucketOf(km float64, boundsKm []float64) int {
+	for i, hi := range boundsKm {
+		if km <= hi {
+			return i
+		}
+	}
+	return len(boundsKm) - 1
+}
+
+// WaypointService is an external service answering with coordinate
+// way-points (the Google Directions stand-in).
+type WaypointService interface {
+	Name() string
+	Directions(s, d roadnet.VertexID) []geo.Point
+}
+
+// EvaluateWaypoints scores a way-point service against ground truth with
+// the Fig. 14 band-matching methodology (band half-width in meters; the
+// paper uses 10).
+func EvaluateWaypoints(g *roadnet.Graph, queries []Query, svc WaypointService, bandM float64, bucketsKm []float64) *Run {
+	run := &Run{
+		BucketsKm:  bucketsKm,
+		ByDist:     map[string][]Cell{svc.Name(): make([]Cell, len(bucketsKm))},
+		ByCat:      map[string][]Cell{svc.Name(): make([]Cell, 3)},
+		Total:      make(map[string]Cell),
+		Algorithms: []string{svc.Name()},
+	}
+	for _, q := range queries {
+		b := bucketOf(q.DistKm, bucketsKm)
+		start := time.Now()
+		wps := svc.Directions(q.S, q.D)
+		nanos := time.Since(start).Nanoseconds()
+		sim := geo.MatchBand(q.GT.Polyline(g), wps, bandM).Similarity()
+		for _, cell := range []*Cell{
+			&run.ByDist[svc.Name()][b],
+			&run.ByCat[svc.Name()][q.Cat],
+		} {
+			cell.N++
+			cell.SumEq1 += sim
+			cell.SumEq4 += sim
+			cell.SumNanos += nanos
+		}
+		tot := run.Total[svc.Name()]
+		tot.N++
+		tot.SumEq1 += sim
+		tot.SumNanos += nanos
+		run.Total[svc.Name()] = tot
+	}
+	return run
+}
+
+// Merge folds another run's aggregates into r (used to combine the L2R
+// run with the way-point service run for Fig. 13 reporting).
+func (r *Run) Merge(other *Run) {
+	for _, name := range other.Algorithms {
+		r.Algorithms = append(r.Algorithms, name)
+		r.ByDist[name] = other.ByDist[name]
+		r.ByCat[name] = other.ByCat[name]
+		r.Total[name] = other.Total[name]
+		if other.PerQuery != nil {
+			if r.PerQuery == nil {
+				r.PerQuery = make(map[string][]QueryScore)
+			}
+			r.PerQuery[name] = other.PerQuery[name]
+		}
+	}
+}
+
+// categoriesInOrder lists category labels for reports.
+var categoriesInOrder = []string{"InRegion", "InOutRegion", "OutRegion"}
+
+// FormatAccuracyByDistance renders a Fig. 10/11-style table.
+func (r *Run) FormatAccuracyByDistance(eq4 bool) string {
+	return r.format(func(c Cell) string { return fmt.Sprintf("%6.1f", acc(c, eq4)) }, "Accuracy (%)", true)
+}
+
+// FormatAccuracyByCategory renders the by-region-category panels.
+func (r *Run) FormatAccuracyByCategory(eq4 bool) string {
+	return r.format(func(c Cell) string { return fmt.Sprintf("%6.1f", acc(c, eq4)) }, "Accuracy (%)", false)
+}
+
+// FormatTimeByDistance renders Fig. 12-style latency tables.
+func (r *Run) FormatTimeByDistance() string {
+	return r.format(func(c Cell) string { return fmt.Sprintf("%9s", c.MeanTime().Round(time.Microsecond)) }, "Run time", true)
+}
+
+// FormatTimeByCategory renders the latency-by-category panel.
+func (r *Run) FormatTimeByCategory() string {
+	return r.format(func(c Cell) string { return fmt.Sprintf("%9s", c.MeanTime().Round(time.Microsecond)) }, "Run time", false)
+}
+
+func acc(c Cell, eq4 bool) float64 {
+	if eq4 {
+		return c.AccEq4()
+	}
+	return c.AccEq1()
+}
+
+func (r *Run) format(cellFn func(Cell) string, title string, byDist bool) string {
+	var sb strings.Builder
+	var cols []string
+	if byDist {
+		lo := 0.0
+		for _, hi := range r.BucketsKm {
+			cols = append(cols, fmt.Sprintf("(%g,%g]km", lo, hi))
+			lo = hi
+		}
+	} else {
+		cols = categoriesInOrder
+	}
+	fmt.Fprintf(&sb, "%-10s", title)
+	for _, c := range cols {
+		fmt.Fprintf(&sb, " %12s", c)
+	}
+	sb.WriteByte('\n')
+	algs := append([]string(nil), r.Algorithms...)
+	sort.Stable(byL2RFirst(algs))
+	for _, name := range algs {
+		fmt.Fprintf(&sb, "%-10s", name)
+		var cells []Cell
+		if byDist {
+			cells = r.ByDist[name]
+		} else {
+			cells = r.ByCat[name]
+		}
+		for _, c := range cells {
+			fmt.Fprintf(&sb, " %12s", cellFn(c))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// byL2RFirst keeps L2R as the leading row, preserving the rest.
+type byL2RFirst []string
+
+func (b byL2RFirst) Len() int      { return len(b) }
+func (b byL2RFirst) Swap(i, j int) { b[i], b[j] = b[j], b[i] }
+func (b byL2RFirst) Less(i, j int) bool {
+	return b[i] == "L2R" && b[j] != "L2R"
+}

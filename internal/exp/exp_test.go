@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+func tinyWorld(t *testing.T) *World {
+	t.Helper()
+	road := roadnet.Generate(roadnet.Tiny(17))
+	cfg := traj.D2Like(17, 300)
+	w := NewCustom("T", road, cfg, []float64{1, 2, 4, 10}, Config{Seed: 17})
+	if len(w.Train) == 0 || len(w.Test) == 0 {
+		t.Fatal("degenerate world")
+	}
+	return w
+}
+
+func TestTableII(t *testing.T) {
+	w := tinyWorld(t)
+	out := TableII(w)
+	for _, want := range []string{"Table II", "# Trajectories", "(0,1]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TableII output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIVAndOffline(t *testing.T) {
+	w := tinyWorld(t)
+	out := TableIV(w)
+	if !strings.Contains(out, "Region Sizes") || !strings.Contains(out, "Max diam") {
+		t.Fatalf("TableIV output wrong:\n%s", out)
+	}
+	rows, err := TableIVData(w, []float64{2, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	var pct float64
+	for _, r := range rows {
+		total += r.Count
+		pct += r.Percent
+	}
+	if total != w.MustRouter().Stats().Regions {
+		t.Fatalf("TableIV rows cover %d of %d regions", total, w.MustRouter().Stats().Regions)
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Fatalf("percentages sum to %v", pct)
+	}
+	off := Offline(w)
+	if !strings.Contains(off, "preference learning") {
+		t.Fatalf("Offline output wrong:\n%s", off)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	w := tinyWorld(t)
+	data, err := Fig6aCompute(w, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.SampledEdges == 0 {
+		t.Fatal("no edges sampled")
+	}
+	var sum float64
+	for _, s := range data.UniqueShare {
+		sum += s
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("unique shares sum to %v", sum)
+	}
+	rows, err := Fig6bCompute(w, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var share float64
+	for _, r := range rows {
+		share += r.PairSharePct
+		if r.PrefSimPct < 0 || r.PrefSimPct > 100 {
+			t.Fatalf("pref similarity out of range: %v", r.PrefSimPct)
+		}
+	}
+	if share < 99 || share > 101 {
+		t.Fatalf("pair shares sum to %v", share)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	w := tinyWorld(t)
+	rows, err := Fig9aCompute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("fig9a rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AccuracyPct < 0 || r.AccuracyPct > 100 {
+			t.Fatalf("accuracy out of range: %+v", r)
+		}
+	}
+	brows, err := Fig9bCompute(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brows) != 5 {
+		t.Fatalf("fig9b rows = %d", len(brows))
+	}
+	// Null rate is monotone non-decreasing in amr (stricter threshold
+	// leaves more edges unlabeled).
+	for i := 1; i < len(brows); i++ {
+		if brows[i].NullRatePct+1e-9 < brows[i-1].NullRatePct {
+			t.Logf("null rate dipped at amr=%v (%v -> %v): acceptable on tiny worlds",
+				brows[i].AMR, brows[i-1].NullRatePct, brows[i].NullRatePct)
+		}
+	}
+}
+
+func TestFig10Through13(t *testing.T) {
+	w := tinyWorld(t)
+	for name, out := range map[string]string{
+		"fig10": Fig10(w),
+		"fig11": Fig11(w),
+		"fig12": Fig12(w),
+		"fig13": Fig13(w),
+	} {
+		if !strings.Contains(out, "L2R") {
+			t.Fatalf("%s output missing L2R:\n%s", name, out)
+		}
+	}
+	run, err := EvalRun(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"L2R", "Shortest", "Fastest", "Dom", "TRIP"} {
+		if run.Total[alg].N == 0 {
+			t.Fatalf("algorithm %s missing from eval run", alg)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/mapmatch"
+	"repro/internal/pref"
+	"repro/internal/spatial"
+	"repro/internal/traj"
+)
+
+// MatchRateRow reports map-matching quality at one GPS sampling regime.
+type MatchRateRow struct {
+	Label       string
+	IntervalSec [2]float64 // min..max seconds between samples
+	NoiseStdM   float64
+	Matched     int
+	Failed      int
+	MeanSim     float64 // mean Eq.1 similarity of matched vs truth path
+}
+
+// MatchRateCompute sweeps GPS sampling intervals from the paper's D1
+// regime (1 Hz) to well below its D2 regime (0.03 Hz) and measures the
+// HMM map matcher's path recovery quality against ground truth. The
+// paper stresses that its method must work on both high- and
+// low-frequency data; this quantifies the substrate's robustness.
+func MatchRateCompute(w *World, trips int) []MatchRateRow {
+	regimes := []MatchRateRow{
+		{Label: "1Hz(D1-like)", IntervalSec: [2]float64{1, 1}, NoiseStdM: 6},
+		{Label: "0.1Hz", IntervalSec: [2]float64{10, 10}, NoiseStdM: 12},
+		{Label: "0.03Hz(D2-like)", IntervalSec: [2]float64{30, 33}, NoiseStdM: 12},
+		{Label: "0.02Hz", IntervalSec: [2]float64{45, 60}, NoiseStdM: 15},
+	}
+	idx := spatial.NewIndex(w.Road, 300)
+	m := mapmatch.NewMatcher(w.Road, idx, mapmatch.Config{SigmaM: 20})
+	for ri := range regimes {
+		cfg := traj.D2Like(int64(1000+ri), trips)
+		cfg.SampleMinSec = regimes[ri].IntervalSec[0]
+		cfg.SampleMaxSec = regimes[ri].IntervalSec[1]
+		cfg.NoiseStdM = regimes[ri].NoiseStdM
+		ts := traj.NewSimulator(w.Road, cfg).Run()
+		var sum float64
+		for _, t := range ts {
+			pts := recordPoints(t)
+			got := m.Match(pts)
+			if len(got) < 2 {
+				regimes[ri].Failed++
+				continue
+			}
+			regimes[ri].Matched++
+			sum += pref.SimEq1(w.Road, t.Truth, got)
+		}
+		if regimes[ri].Matched > 0 {
+			regimes[ri].MeanSim = 100 * sum / float64(regimes[ri].Matched)
+		}
+	}
+	return regimes
+}
+
+// recordPoints extracts the raw GPS points of a trajectory.
+func recordPoints(t *traj.Trajectory) []geo.Point {
+	pts := make([]geo.Point, len(t.Records))
+	for i, r := range t.Records {
+		pts[i] = r.P
+	}
+	return pts
+}
+
+// MatchRate renders the sampling-rate robustness sweep.
+func MatchRate(w *World) string {
+	var b strings.Builder
+	b.WriteString(Header(fmt.Sprintf("Substrate: map-matching quality vs GPS sampling rate (%s)", w.Name)))
+	fmt.Fprintf(&b, "%-16s %10s %8s %8s %8s\n", "regime", "noise(m)", "matched", "failed", "meanSim")
+	for _, r := range MatchRateCompute(w, 60) {
+		fmt.Fprintf(&b, "%-16s %10.0f %8d %8d %7.1f%%\n",
+			r.Label, r.NoiseStdM, r.Matched, r.Failed, r.MeanSim)
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// msRound is the rounding granularity for reported offline times.
+const msRound = time.Millisecond
+
+// TableII reproduces the trajectory travel-distance statistics of the
+// paper's Table II for one world.
+func TableII(w *World) string {
+	var sb strings.Builder
+	sb.WriteString(Header(fmt.Sprintf("Table II — Statistics of Trajectories (%s)", w.Name)))
+	buckets := traj.DistanceHistogram(w.Road, w.All, w.BucketsKm)
+	fmt.Fprintf(&sb, "%-14s", "Distance (km)")
+	for _, b := range buckets {
+		fmt.Fprintf(&sb, " %12s", b.Label())
+	}
+	fmt.Fprintf(&sb, "\n%-14s", "# Trajectories")
+	for _, b := range buckets {
+		fmt.Fprintf(&sb, " %12d", b.Count)
+	}
+	fmt.Fprintf(&sb, "\n%-14s", "Percentage (%)")
+	for _, b := range buckets {
+		fmt.Fprintf(&sb, " %12.1f", b.Percent)
+	}
+	fmt.Fprintf(&sb, "\nTotal: %d trajectories, mean %.2f km\n",
+		len(w.All), traj.MeanDistanceKm(w.Road, w.All))
+	return sb.String()
+}
+
+// RegionSizeRow is one bucket of the Table IV region-size statistics.
+type RegionSizeRow struct {
+	LoKm2, HiKm2 float64 // HiKm2 <= 0 means unbounded
+	Count        int
+	Percent      float64
+	MaxDiamKm    float64
+}
+
+// TableIVData computes the region-size distribution. Bounds are area
+// bucket upper limits in km²; the final bucket is unbounded.
+func TableIVData(w *World, boundsKm2 []float64) ([]RegionSizeRow, error) {
+	r, err := w.Router()
+	if err != nil {
+		return nil, err
+	}
+	rg := r.RegionGraph()
+	rows := make([]RegionSizeRow, len(boundsKm2)+1)
+	lo := 0.0
+	for i, hi := range boundsKm2 {
+		rows[i] = RegionSizeRow{LoKm2: lo, HiKm2: hi}
+		lo = hi
+	}
+	rows[len(boundsKm2)] = RegionSizeRow{LoKm2: lo, HiKm2: -1}
+
+	total := 0
+	for _, reg := range rg.Regions {
+		pts := make([]geo.Point, len(reg.Members))
+		for i, v := range reg.Members {
+			pts[i] = w.Road.Point(v)
+		}
+		areaM2, diamM := geo.HullAreaDiameter(pts)
+		areaKm2 := areaM2 / 1e6
+		diamKm := diamM / 1e3
+		idx := len(rows) - 1
+		for i := range rows {
+			if rows[i].HiKm2 > 0 && areaKm2 <= rows[i].HiKm2 {
+				idx = i
+				break
+			}
+		}
+		rows[idx].Count++
+		if diamKm > rows[idx].MaxDiamKm {
+			rows[idx].MaxDiamKm = diamKm
+		}
+		total++
+	}
+	for i := range rows {
+		if total > 0 {
+			rows[i].Percent = 100 * float64(rows[i].Count) / float64(total)
+		}
+	}
+	return rows, nil
+}
+
+// TableIV renders the Table IV region-size report for one world. The
+// paper buckets D1 regions at 2/10/100 km² and D2 at 2/5/10 km²; the
+// scaled-down maps keep the same cut points.
+func TableIV(w *World) string {
+	bounds := []float64{2, 10, 100}
+	if w.Name == "D2" {
+		bounds = []float64{2, 5, 10}
+	}
+	rows, err := TableIVData(w, bounds)
+	if err != nil {
+		return fmt.Sprintf("TableIV(%s): %v\n", w.Name, err)
+	}
+	var sb strings.Builder
+	sb.WriteString(Header(fmt.Sprintf("Table IV — Region Sizes (%s)", w.Name)))
+	fmt.Fprintf(&sb, "%-14s %10s %10s %14s\n", "Size (km²)", "# Regions", "Percent", "Max diam (km)")
+	for _, row := range rows {
+		label := fmt.Sprintf("(%g,%g]", row.LoKm2, row.HiKm2)
+		if row.HiKm2 <= 0 {
+			label = fmt.Sprintf(">%g", row.LoKm2)
+		}
+		fmt.Fprintf(&sb, "%-14s %10d %9.1f%% %14.2f\n", label, row.Count, row.Percent, row.MaxDiamKm)
+	}
+	st := w.MustRouter().Stats()
+	fmt.Fprintf(&sb, "Regions: %d, T-edges: %d, B-edges: %d\n", st.Regions, st.TEdges, st.BEdges)
+	return sb.String()
+}
+
+// Offline reports the per-phase offline processing times the paper gives
+// in Section VII-C ("Offline Processing Time for L2R").
+func Offline(w *World) string {
+	r, err := w.Router()
+	if err != nil {
+		return fmt.Sprintf("Offline(%s): %v\n", w.Name, err)
+	}
+	st := r.Stats()
+	var sb strings.Builder
+	sb.WriteString(Header(fmt.Sprintf("Offline Processing Time (%s)", w.Name)))
+	fmt.Fprintf(&sb, "map matching        %12s (%d/%d trajectories)\n", st.MatchTime.Round(msRound), st.MatchedOK, st.Trajectories)
+	fmt.Fprintf(&sb, "region graph        %12s (%d regions, %d T-edges, %d B-edges)\n", st.ClusterTime.Round(msRound), st.Regions, st.TEdges, st.BEdges)
+	fmt.Fprintf(&sb, "preference learning %12s (%d preferences)\n", st.LearnTime.Round(msRound), st.LearnedPrefs)
+	fmt.Fprintf(&sb, "preference transfer %12s (%d transferred, %d null)\n", st.TransferTime.Round(msRound), st.TransferredOK, st.NullBEdges)
+	fmt.Fprintf(&sb, "B-edge paths        %12s\n", st.MaterializeTime.Round(msRound))
+	return sb.String()
+}

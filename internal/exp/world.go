@@ -1,0 +1,150 @@
+// Package exp implements the paper's experiments (Section VII): each
+// table and figure of the evaluation has a function here that
+// regenerates its rows/series over the synthetic D1-like and D2-like
+// worlds. cmd/l2rexp exposes them on the command line and the repository
+// root bench_test.go wraps each in a testing.B benchmark.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Scale selects experiment sizing. Small keeps everything laptop-quick
+// (seconds); Full uses larger networks and trajectory sets (minutes) for
+// the numbers recorded in EXPERIMENTS.md.
+type Scale int
+
+// Scales.
+const (
+	Small Scale = iota
+	Full
+)
+
+// Config parameterizes world construction.
+type Config struct {
+	Seed  int64
+	Scale Scale
+	// UseMapMatching runs the full GPS → path pipeline during the
+	// router build. Small-scale runs skip it by default to keep the
+	// bench suite fast; Full enables it.
+	UseMapMatching bool
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// World bundles one dataset analogue: road network, trajectory set,
+// train/test split, evaluation buckets and a lazily built router.
+type World struct {
+	Name      string
+	Road      *roadnet.Graph
+	All       []*traj.Trajectory
+	Train     []*traj.Trajectory
+	Test      []*traj.Trajectory
+	BucketsKm []float64
+	Sim       *traj.Simulator
+
+	cfg  Config
+	opts core.Options
+
+	once   sync.Once
+	router *core.Router
+	berr   error
+}
+
+// NewD1 creates the Denmark-like world (high-frequency GPS, long trips,
+// highway structure). Paper analogues: network N1, dataset D1, distance
+// buckets (0,10],(10,50],(50,100],(100,500] km — scaled to the smaller
+// synthetic map as (0,5],(5,15],(15,30],(30,100].
+func NewD1(cfg Config) *World {
+	trips := 1200
+	netSeed := cfg.Seed
+	if cfg.Scale == Full {
+		trips = 6000
+	}
+	road := roadnet.Generate(roadnet.N1Like(netSeed))
+	scfg := traj.D1Like(cfg.Seed+1, trips)
+	sim := traj.NewSimulator(road, scfg)
+	all := sim.Run()
+	train, test := traj.Split(all, 0.75*scfg.HorizonSec) // 18 of 24 months
+	return &World{
+		Name: "D1", Road: road, All: all, Train: train, Test: test,
+		BucketsKm: []float64{5, 15, 30, 100},
+		Sim:       sim,
+		cfg:       cfg,
+		opts: core.Options{
+			SkipMapMatching: !cfg.UseMapMatching,
+			Workers:         cfg.Workers,
+		},
+	}
+}
+
+// NewD2 creates the Chengdu-like world (low-frequency taxi GPS, short
+// urban trips). Paper buckets (0,2],(2,5],(5,10],(10,35] km map directly.
+func NewD2(cfg Config) *World {
+	trips := 1500
+	if cfg.Scale == Full {
+		trips = 8000
+	}
+	road := roadnet.Generate(roadnet.N2Like(cfg.Seed))
+	scfg := traj.D2Like(cfg.Seed+1, trips)
+	sim := traj.NewSimulator(road, scfg)
+	all := sim.Run()
+	train, test := traj.Split(all, 0.75*scfg.HorizonSec) // 21 of 28 days
+	return &World{
+		Name: "D2", Road: road, All: all, Train: train, Test: test,
+		BucketsKm: []float64{2, 5, 10, 35},
+		Sim:       sim,
+		cfg:       cfg,
+		opts: core.Options{
+			SkipMapMatching: !cfg.UseMapMatching,
+			Workers:         cfg.Workers,
+		},
+	}
+}
+
+// NewCustom assembles a world from explicit parts; tests and the bench
+// suite use it to run the experiment machinery over small custom maps.
+func NewCustom(name string, road *roadnet.Graph, simCfg traj.SimConfig, bucketsKm []float64, cfg Config) *World {
+	sim := traj.NewSimulator(road, simCfg)
+	all := sim.Run()
+	train, test := traj.Split(all, 0.75*simCfg.HorizonSec)
+	return &World{
+		Name: name, Road: road, All: all, Train: train, Test: test,
+		BucketsKm: bucketsKm,
+		Sim:       sim,
+		cfg:       cfg,
+		opts: core.Options{
+			SkipMapMatching: !cfg.UseMapMatching,
+			Workers:         cfg.Workers,
+		},
+	}
+}
+
+// Router builds (once) and returns the world's L2R router.
+func (w *World) Router() (*core.Router, error) {
+	w.once.Do(func() {
+		w.router, w.berr = core.Build(w.Road, w.Train, w.opts)
+	})
+	return w.router, w.berr
+}
+
+// MustRouter is Router for contexts where failure is fatal anyway.
+func (w *World) MustRouter() *core.Router {
+	r, err := w.Router()
+	if err != nil {
+		panic(fmt.Sprintf("exp: building router for %s: %v", w.Name, err))
+	}
+	return r
+}
+
+// Header renders a section header for experiment output.
+func Header(title string) string {
+	bar := strings.Repeat("=", len(title))
+	return fmt.Sprintf("%s\n%s\n", title, bar)
+}

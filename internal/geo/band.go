@@ -1,0 +1,146 @@
+package geo
+
+// This file implements the band-matching methodology the paper uses to
+// compare Google Directions way-point paths against ground-truth paths
+// (Section VII-D, Fig. 14). A ground-truth path is a polyline; way-points
+// within a fixed band width (10 m in the paper) of the polyline are
+// "matched". Consecutive matched way-points contribute the ground-truth
+// arc length between their projection points to the matched length, and
+// the similarity is matchedLength / totalLength, mirroring Eq. 1.
+
+// Polyline is an ordered sequence of points.
+type Polyline []Point
+
+// Length returns the total arc length of the polyline.
+func (pl Polyline) Length() float64 {
+	var l float64
+	for i := 1; i < len(pl); i++ {
+		l += pl[i-1].Dist(pl[i])
+	}
+	return l
+}
+
+// arcPos describes a position along a polyline as the cumulative arc
+// length from its start.
+type arcPos = float64
+
+// project returns the closest point on the polyline to p, the distance to
+// it, and its cumulative arc-length position.
+func (pl Polyline) project(p Point) (Point, float64, arcPos) {
+	if len(pl) == 0 {
+		return Point{}, 0, 0
+	}
+	if len(pl) == 1 {
+		return pl[0], p.Dist(pl[0]), 0
+	}
+	best := Point{}
+	bestDist := -1.0
+	bestArc := arcPos(0)
+	var acc float64
+	for i := 1; i < len(pl); i++ {
+		seg := Segment{pl[i-1], pl[i]}
+		q, t := seg.Project(p)
+		d := p.Dist(q)
+		if bestDist < 0 || d < bestDist {
+			bestDist = d
+			best = q
+			bestArc = acc + t*seg.Length()
+		}
+		acc += seg.Length()
+	}
+	return best, bestDist, bestArc
+}
+
+// BandMatch holds the result of matching a way-point path against a
+// ground-truth polyline.
+type BandMatch struct {
+	// Matched is the ground-truth arc length covered by consecutive
+	// matched way-points, in meters.
+	Matched float64
+	// Total is the full ground-truth arc length, in meters.
+	Total float64
+	// MatchedWaypoints counts way-points inside the band.
+	MatchedWaypoints int
+	// Waypoints is the number of way-points tested.
+	Waypoints int
+}
+
+// Similarity returns Matched/Total, the Eq. 1-style similarity. It returns
+// zero when the ground truth has zero length.
+func (m BandMatch) Similarity() float64 {
+	if m.Total <= 0 {
+		return 0
+	}
+	s := m.Matched / m.Total
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// MatchBand matches waypoints against the ground-truth polyline gt using
+// the given band half-width in meters (the paper uses 10 m). Consecutive
+// matched way-points contribute the ground-truth arc between their
+// projection points.
+func MatchBand(gt Polyline, waypoints []Point, band float64) BandMatch {
+	res := BandMatch{Total: gt.Length(), Waypoints: len(waypoints)}
+	if len(gt) < 2 || len(waypoints) == 0 {
+		return res
+	}
+	type proj struct {
+		ok  bool
+		arc arcPos
+	}
+	projs := make([]proj, len(waypoints))
+	for i, wp := range waypoints {
+		_, d, arc := gt.project(wp)
+		if d <= band {
+			projs[i] = proj{ok: true, arc: arc}
+			res.MatchedWaypoints++
+		}
+	}
+	for i := 1; i < len(projs); i++ {
+		if projs[i-1].ok && projs[i].ok {
+			lo, hi := projs[i-1].arc, projs[i].arc
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			res.Matched += hi - lo
+		}
+	}
+	if res.Matched > res.Total {
+		res.Matched = res.Total
+	}
+	return res
+}
+
+// Resample returns points spaced every step meters along the polyline,
+// always including the first and last points. It is used to turn edge
+// paths into way-point sequences like those a web routing service returns.
+func (pl Polyline) Resample(step float64) []Point {
+	if len(pl) == 0 {
+		return nil
+	}
+	if step <= 0 || len(pl) == 1 {
+		out := make([]Point, len(pl))
+		copy(out, pl)
+		return out
+	}
+	out := []Point{pl[0]}
+	var carry float64
+	for i := 1; i < len(pl); i++ {
+		seg := Segment{pl[i-1], pl[i]}
+		l := seg.Length()
+		pos := step - carry
+		for pos < l {
+			out = append(out, Lerp(seg.A, seg.B, pos/l))
+			pos += step
+		}
+		carry = l - (pos - step)
+	}
+	last := pl[len(pl)-1]
+	if out[len(out)-1] != last {
+		out = append(out, last)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// ConvexHull returns the convex hull of the points in counter-clockwise
+// order using Andrew's monotone chain algorithm. Duplicate points are
+// tolerated. For fewer than three distinct points the hull degenerates to
+// those points.
+func ConvexHull(pts []Point) []Point {
+	if len(pts) <= 2 {
+		out := make([]Point, len(pts))
+		copy(out, pts)
+		return out
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Remove exact duplicates so collinearity checks behave.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) <= 2 {
+		out := make([]Point, len(uniq))
+		copy(out, uniq)
+		return out
+	}
+
+	cross := func(o, a, b Point) float64 {
+		return a.Sub(o).Cross(b.Sub(o))
+	}
+	hull := make([]Point, 0, 2*len(uniq))
+	// Lower hull.
+	for _, p := range uniq {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(uniq) - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// PolygonArea returns the unsigned area of the polygon whose vertices are
+// given in order (shoelace formula).
+func PolygonArea(poly []Point) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	var a float64
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		a += poly[i].Cross(poly[j])
+	}
+	return math.Abs(a) / 2
+}
+
+// Diameter returns the maximum pairwise distance between the points.
+// For hull-sized inputs the quadratic scan is fine; callers pass convex
+// hulls, which are small.
+func Diameter(pts []Point) float64 {
+	var d float64
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if dd := pts[i].Dist(pts[j]); dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
+// HullAreaDiameter computes the convex hull of pts and returns its area
+// (m²) and maximum diameter (m). This is the measurement used for the
+// paper's Table IV region-size statistics.
+func HullAreaDiameter(pts []Point) (area, diameter float64) {
+	h := ConvexHull(pts)
+	return PolygonArea(h), Diameter(h)
+}

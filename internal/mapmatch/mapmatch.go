@@ -1,0 +1,351 @@
+// Package mapmatch implements hidden-Markov-model map matching after
+// Newson & Krumm (SIGSPATIAL 2009), the algorithm the paper cites for
+// aligning GPS trajectories with road-network paths.
+//
+// Emission probabilities are Gaussian in the distance from a GPS record
+// to a candidate edge; transition probabilities decay exponentially in
+// the absolute difference between the network route distance and the
+// straight-line distance of consecutive records. Decoding is Viterbi
+// over the candidate lattice. Route distances between candidates are
+// computed with bounded Dijkstra searches so matching stays near-linear
+// in trajectory length.
+package mapmatch
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/route"
+	"repro/internal/spatial"
+)
+
+// Config holds matcher tuning parameters. Zero values are replaced by
+// the documented defaults.
+type Config struct {
+	// CandidateRadiusM bounds the distance from a GPS record to candidate
+	// edges (default 60).
+	CandidateRadiusM float64
+	// SigmaM is the GPS noise standard deviation for emissions
+	// (default 10, roughly 1.5–2× the simulator noise).
+	SigmaM float64
+	// BetaM is the exponential transition scale (default 60).
+	BetaM float64
+	// MaxCandidates caps candidates per record (default 6).
+	MaxCandidates int
+	// MinSpacingM thins records closer together than this before
+	// matching; 1 Hz feeds are heavily oversampled (default 30).
+	MinSpacingM float64
+	// RouteFactor bounds the Dijkstra searches: route distances beyond
+	// RouteFactor × straight-line + RouteSlackM are treated as broken
+	// transitions (default 6 and 800).
+	RouteFactor float64
+	RouteSlackM float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CandidateRadiusM == 0 {
+		c.CandidateRadiusM = 60
+	}
+	if c.SigmaM == 0 {
+		c.SigmaM = 10
+	}
+	if c.BetaM == 0 {
+		c.BetaM = 60
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 6
+	}
+	if c.MinSpacingM == 0 {
+		c.MinSpacingM = 30
+	}
+	if c.RouteFactor == 0 {
+		c.RouteFactor = 6
+	}
+	if c.RouteSlackM == 0 {
+		c.RouteSlackM = 800
+	}
+	return c
+}
+
+// Matcher matches GPS point sequences onto a road network. It is not
+// safe for concurrent use; create one per goroutine.
+type Matcher struct {
+	cfg Config
+	g   *roadnet.Graph
+	idx *spatial.Index
+	eng *route.Engine
+}
+
+// NewMatcher returns a Matcher over g using the given spatial index.
+func NewMatcher(g *roadnet.Graph, idx *spatial.Index, cfg Config) *Matcher {
+	return &Matcher{cfg: cfg.withDefaults(), g: g, idx: idx, eng: route.NewEngine(g)}
+}
+
+type candidate struct {
+	cand spatial.EdgeCandidate
+	// logEmit is the log emission probability.
+	logEmit float64
+}
+
+// Match aligns the GPS points with a road-network path. It returns nil
+// when no consistent alignment exists (e.g. all records are far from any
+// road).
+func (m *Matcher) Match(points []geo.Point) roadnet.Path {
+	pts := m.thin(points)
+	if len(pts) == 0 {
+		return nil
+	}
+
+	// Candidate lattice.
+	lattice := make([][]candidate, 0, len(pts))
+	kept := make([]geo.Point, 0, len(pts))
+	for _, p := range pts {
+		cands := m.idx.EdgesWithin(p, m.cfg.CandidateRadiusM)
+		if len(cands) == 0 {
+			continue // skip unmatched records, as Newson & Krumm do
+		}
+		if len(cands) > m.cfg.MaxCandidates {
+			cands = cands[:m.cfg.MaxCandidates]
+		}
+		level := make([]candidate, len(cands))
+		for i, c := range cands {
+			z := c.Dist / m.cfg.SigmaM
+			level[i] = candidate{cand: c, logEmit: -0.5 * z * z}
+		}
+		lattice = append(lattice, level)
+		kept = append(kept, p)
+	}
+	if len(lattice) == 0 {
+		return nil
+	}
+	if len(lattice) == 1 {
+		c := lattice[0][0].cand
+		e := m.g.Edge(c.Edge)
+		return roadnet.Path{e.From, e.To}
+	}
+
+	// Viterbi.
+	type cell struct {
+		score float64
+		prev  int
+		// viaPath is the vertex path from the previous candidate's edge
+		// head to this candidate's edge tail (exclusive of both edges).
+		via roadnet.Path
+	}
+	prev := make([]cell, len(lattice[0]))
+	for i, c := range lattice[0] {
+		prev[i] = cell{score: c.logEmit, prev: -1}
+	}
+	back := make([][]cell, len(lattice))
+	back[0] = prev
+
+	for t := 1; t < len(lattice); t++ {
+		cur := make([]cell, len(lattice[t]))
+		straight := kept[t-1].Dist(kept[t])
+		bound := m.cfg.RouteFactor*straight + m.cfg.RouteSlackM
+
+		// One bounded Dijkstra per previous candidate, reused across all
+		// current candidates.
+		costs := make([]map[roadnet.VertexID]float64, len(lattice[t-1]))
+		paths := make([]map[roadnet.VertexID]roadnet.Path, len(lattice[t-1]))
+		for j, pc := range lattice[t-1] {
+			if back[t-1][j].score == math.Inf(-1) {
+				continue
+			}
+			head := m.g.Edge(pc.cand.Edge).To
+			costs[j], paths[j] = m.boundedWithPaths(head, bound)
+		}
+
+		for i, cc := range lattice[t] {
+			best := math.Inf(-1)
+			bestPrev := -1
+			var bestVia roadnet.Path
+			for j, pc := range lattice[t-1] {
+				if back[t-1][j].score == math.Inf(-1) || costs[j] == nil {
+					continue
+				}
+				routeDist, via, ok := m.routeDistance(pc.cand, cc.cand, costs[j], paths[j])
+				if !ok {
+					continue
+				}
+				logTrans := -math.Abs(routeDist-straight) / m.cfg.BetaM
+				s := back[t-1][j].score + logTrans + cc.logEmit
+				if s > best {
+					best, bestPrev, bestVia = s, j, via
+				}
+			}
+			cur[i] = cell{score: best, prev: bestPrev, via: bestVia}
+		}
+		back[t] = cur
+	}
+
+	// Find the last level with any finite score, then backtrack.
+	last := len(lattice) - 1
+	for last > 0 {
+		ok := false
+		for _, c := range back[last] {
+			if c.score > math.Inf(-1) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		last--
+	}
+	bestI, bestS := 0, math.Inf(-1)
+	for i, c := range back[last] {
+		if c.score > bestS {
+			bestI, bestS = i, c.score
+		}
+	}
+	if bestS == math.Inf(-1) {
+		return nil
+	}
+
+	// Reconstruct the edge/path chain.
+	type step struct {
+		edge roadnet.EdgeID
+		via  roadnet.Path
+	}
+	var steps []step
+	for t, i := last, bestI; t >= 0 && i >= 0; {
+		c := back[t][i]
+		steps = append(steps, step{edge: lattice[t][i].cand.Edge, via: c.via})
+		i = c.prev
+		t--
+	}
+	// Reverse.
+	for a, b := 0, len(steps)-1; a < b; a, b = a+1, b-1 {
+		steps[a], steps[b] = steps[b], steps[a]
+	}
+
+	var path roadnet.Path
+	appendVertex := func(v roadnet.VertexID) {
+		if len(path) == 0 || path[len(path)-1] != v {
+			path = append(path, v)
+		}
+	}
+	lastEdge := roadnet.NoEdge
+	for _, s := range steps {
+		if s.edge == lastEdge && len(s.via) == 0 {
+			continue // consecutive records matched to the same edge
+		}
+		e := m.g.Edge(s.edge)
+		for _, v := range s.via {
+			appendVertex(v)
+		}
+		appendVertex(e.From)
+		appendVertex(e.To)
+		lastEdge = s.edge
+	}
+	if len(path) < 2 {
+		return nil
+	}
+	return path
+}
+
+// routeDistance computes the network distance between two candidate
+// projection points, plus the intermediate vertex path from the first
+// candidate's edge head to the second candidate's edge tail.
+func (m *Matcher) routeDistance(a, b spatial.EdgeCandidate, costs map[roadnet.VertexID]float64, paths map[roadnet.VertexID]roadnet.Path) (float64, roadnet.Path, bool) {
+	ea, eb := m.g.Edge(a.Edge), m.g.Edge(b.Edge)
+	if a.Edge == b.Edge {
+		if b.Frac >= a.Frac {
+			return (b.Frac - a.Frac) * ea.Length, nil, true
+		}
+		// Going backwards on the same edge requires a loop; treat like
+		// distinct edges below via the head-to-tail route.
+	}
+	tailDist := (1 - a.Frac) * ea.Length
+	headDist := b.Frac * eb.Length
+	d, ok := costs[eb.From]
+	if !ok {
+		return 0, nil, false
+	}
+	via := paths[eb.From]
+	if eb.From == ea.To {
+		via = nil
+	}
+	return tailDist + d + headDist, via, true
+}
+
+// boundedWithPaths runs a bounded Dijkstra from s over distance and also
+// reconstructs, for each settled vertex, the intermediate vertex chain
+// (excluding s itself). Trajectory gaps are short so the per-step maps
+// stay small.
+func (m *Matcher) boundedWithPaths(s roadnet.VertexID, bound float64) (map[roadnet.VertexID]float64, map[roadnet.VertexID]roadnet.Path) {
+	costs := m.eng.BoundedCosts(s, roadnet.DI, bound)
+	paths := make(map[roadnet.VertexID]roadnet.Path, len(costs))
+	// Reconstruct greedily: for each settled vertex walk best
+	// predecessors. Simpler: rerun a tiny Dijkstra over the settled set.
+	// The settled set is small, so an O(k²)-ish reconstruction is fine;
+	// we rebuild predecessor links with one pass over the induced edges.
+	type pred struct {
+		v roadnet.VertexID
+	}
+	preds := make(map[roadnet.VertexID]pred, len(costs))
+	for v, dv := range costs {
+		for _, eid := range m.g.In(v) {
+			e := m.g.Edge(eid)
+			du, ok := costs[e.From]
+			if !ok {
+				continue
+			}
+			if math.Abs(du+e.Length-dv) < 1e-6 {
+				preds[v] = pred{v: e.From}
+				break
+			}
+		}
+	}
+	for v := range costs {
+		if v == s {
+			continue
+		}
+		var chain roadnet.Path
+		u := v
+		for u != s {
+			p, ok := preds[u]
+			if !ok {
+				chain = nil
+				break
+			}
+			u = p.v
+			if u != s {
+				chain = append(chain, u)
+			}
+		}
+		if chain == nil {
+			paths[v] = roadnet.Path{}
+			continue
+		}
+		for a, b := 0, len(chain)-1; a < b; a, b = a+1, b-1 {
+			chain[a], chain[b] = chain[b], chain[a]
+		}
+		// chain holds intermediates s→v exclusive; prepend s's successor
+		// ordering is already correct.
+		paths[v] = append(roadnet.Path{s}, chain...)
+	}
+	paths[s] = roadnet.Path{}
+	return costs, paths
+}
+
+// thin drops records closer than MinSpacingM to their predecessor.
+func (m *Matcher) thin(points []geo.Point) []geo.Point {
+	if len(points) == 0 {
+		return nil
+	}
+	out := []geo.Point{points[0]}
+	for _, p := range points[1:] {
+		if p.Dist(out[len(out)-1]) >= m.cfg.MinSpacingM {
+			out = append(out, p)
+		}
+	}
+	// Always keep the final record so the destination is represented.
+	if last := points[len(points)-1]; out[len(out)-1] != last {
+		out = append(out, last)
+	}
+	return out
+}

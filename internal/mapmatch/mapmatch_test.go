@@ -1,0 +1,139 @@
+package mapmatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/pref"
+	"repro/internal/roadnet"
+	"repro/internal/route"
+	"repro/internal/spatial"
+	"repro/internal/traj"
+)
+
+func matcherOver(g *roadnet.Graph) *Matcher {
+	return NewMatcher(g, spatial.NewIndex(g, 200), Config{})
+}
+
+func TestMatchRecoverPathOnGrid(t *testing.T) {
+	g := roadnet.GenerateGrid(8, 8, 120, roadnet.Tertiary)
+	eng := route.NewEngine(g)
+	truth, _, ok := eng.Shortest(0, 63)
+	if !ok {
+		t.Fatal("no truth path")
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := noisyWalk(g, truth, 20, 5, rng)
+	m := matcherOver(g)
+	got := m.Match(pts)
+	if len(got) < 2 {
+		t.Fatal("matcher returned nothing")
+	}
+	if !got.Valid(g) {
+		t.Fatalf("matched path invalid: %v", got)
+	}
+	if sim := pref.SimEq1(g, truth, got); sim < 0.85 {
+		t.Fatalf("match similarity %.2f too low (truth %v, got %v)", sim, truth, got)
+	}
+}
+
+func TestMatchHighNoiseStillValid(t *testing.T) {
+	g := roadnet.GenerateGrid(8, 8, 120, roadnet.Tertiary)
+	eng := route.NewEngine(g)
+	truth, _, _ := eng.Shortest(0, 63)
+	rng := rand.New(rand.NewSource(2))
+	pts := noisyWalk(g, truth, 25, 18, rng)
+	m := NewMatcher(g, spatial.NewIndex(g, 200), Config{SigmaM: 20})
+	got := m.Match(pts)
+	if len(got) >= 2 && !got.Valid(g) {
+		t.Fatalf("matched path invalid: %v", got)
+	}
+}
+
+func TestMatchEmptyAndFarInput(t *testing.T) {
+	g := roadnet.GenerateGrid(4, 4, 100, roadnet.Tertiary)
+	m := matcherOver(g)
+	if got := m.Match(nil); got != nil {
+		t.Fatal("nil input should match nothing")
+	}
+	far := []geo.Point{geo.Pt(1e7, 1e7), geo.Pt(1e7, 1e7+50)}
+	if got := m.Match(far); got != nil {
+		t.Fatalf("far input matched: %v", got)
+	}
+}
+
+func TestMatchSingleUsablePoint(t *testing.T) {
+	g := roadnet.GenerateGrid(4, 4, 100, roadnet.Tertiary)
+	m := matcherOver(g)
+	got := m.Match([]geo.Point{geo.Pt(150, 2)})
+	if len(got) != 2 {
+		t.Fatalf("single-point match = %v", got)
+	}
+	if !got.Valid(g) {
+		t.Fatal("single-point match invalid")
+	}
+}
+
+func TestMatchSimulatedTrajectories(t *testing.T) {
+	// End-to-end: the simulator's GPS output must map-match back to a
+	// path close to the ground truth, on a realistic (non-grid) map.
+	g := roadnet.Generate(roadnet.Tiny(8))
+	cfg := traj.D2Like(5, 20)
+	sim := traj.NewSimulator(g, cfg)
+	ts := sim.Run()
+	if len(ts) < 10 {
+		t.Fatalf("simulator made only %d trips", len(ts))
+	}
+	m := NewMatcher(g, spatial.NewIndex(g, 250), Config{SigmaM: 15})
+	var simSum float64
+	n := 0
+	for _, tr := range ts {
+		pts := make([]geo.Point, len(tr.Records))
+		for i, r := range tr.Records {
+			pts[i] = r.P
+		}
+		got := m.Match(pts)
+		if len(got) < 2 {
+			continue
+		}
+		if !got.Valid(g) {
+			t.Fatalf("invalid matched path for trip %d", tr.ID)
+		}
+		simSum += pref.SimEq1(g, tr.Truth, got)
+		n++
+	}
+	if n < len(ts)*7/10 {
+		t.Fatalf("only %d/%d trips matched", n, len(ts))
+	}
+	if avg := simSum / float64(n); avg < 0.7 {
+		t.Fatalf("average match similarity %.2f too low", avg)
+	}
+}
+
+func TestThinKeepsEndpoints(t *testing.T) {
+	g := roadnet.GenerateGrid(3, 3, 100, roadnet.Tertiary)
+	m := matcherOver(g)
+	pts := []geo.Point{
+		geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(2, 0), geo.Pt(3, 0), geo.Pt(200, 0),
+	}
+	out := m.thin(pts)
+	if out[0] != pts[0] || out[len(out)-1] != pts[len(pts)-1] {
+		t.Fatalf("thin dropped endpoints: %v", out)
+	}
+	if len(out) >= len(pts) {
+		t.Fatal("thin did not drop oversampled points")
+	}
+}
+
+// noisyWalk emits GPS-like points every stepM meters along the path with
+// Gaussian noise.
+func noisyWalk(g *roadnet.Graph, p roadnet.Path, stepM, noise float64, rng *rand.Rand) []geo.Point {
+	pl := p.Polyline(g)
+	pts := pl.Resample(stepM)
+	out := make([]geo.Point, len(pts))
+	for i, q := range pts {
+		out[i] = geo.Pt(q.X+rng.NormFloat64()*noise, q.Y+rng.NormFloat64()*noise)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package pref
+
+import (
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/route"
+)
+
+func TestLearnMultiRecoversTwoPreferences(t *testing.T) {
+	g := prefWorld(t)
+	eng := route.NewEngine(g)
+	// Mix paths from two planted preferences with distinct optima.
+	var paths []roadnet.Path
+	for i := 0; i < 4; i++ {
+		p, _, _ := eng.Route(0, 3, roadnet.DI)
+		paths = append(paths, p)
+	}
+	for i := 0; i < 4; i++ {
+		p, _, _ := eng.Route(0, 3, roadnet.TT)
+		paths = append(paths, p)
+	}
+	l := NewLearner(g)
+	l.MaxPaths = 0 // use all
+	res := l.LearnMulti(paths, 2, 0.25)
+	if len(res.Prefs) != 2 {
+		t.Fatalf("learned %d preferences, want 2: %+v", len(res.Prefs), res.Prefs)
+	}
+	masters := map[roadnet.Weight]bool{}
+	for _, wp := range res.Prefs {
+		masters[wp.Preference.Master] = true
+		if wp.Support < 0.25 || wp.Support > 0.75 {
+			t.Errorf("support %v outside expected band", wp.Support)
+		}
+		if wp.Similarity < 0.99 {
+			t.Errorf("cluster similarity %v too low", wp.Similarity)
+		}
+	}
+	if !masters[roadnet.DI] || !masters[roadnet.TT] {
+		t.Fatalf("recovered masters %v, want DI and TT", masters)
+	}
+	if res.Coverage != 1 {
+		t.Errorf("coverage = %v", res.Coverage)
+	}
+}
+
+func TestLearnMultiSinglePreferenceCollapses(t *testing.T) {
+	g := prefWorld(t)
+	eng := route.NewEngine(g)
+	var paths []roadnet.Path
+	for i := 0; i < 6; i++ {
+		p, _, _ := eng.Route(0, 3, roadnet.FC)
+		paths = append(paths, p)
+	}
+	res := NewLearner(g).LearnMulti(paths, 3, 0.2)
+	if len(res.Prefs) != 1 {
+		t.Fatalf("homogeneous set should learn one preference, got %d", len(res.Prefs))
+	}
+	dom, ok := res.Dominant()
+	if !ok || dom.Master != roadnet.FC {
+		t.Fatalf("dominant = %v", dom)
+	}
+}
+
+func TestLearnMultiEmpty(t *testing.T) {
+	g := prefWorld(t)
+	res := NewLearner(g).LearnMulti(nil, 2, 0.2)
+	if len(res.Prefs) != 0 || res.Coverage != 0 {
+		t.Fatalf("empty input produced %+v", res)
+	}
+	if _, ok := res.Dominant(); ok {
+		t.Fatal("empty result has a dominant preference")
+	}
+}
+
+func TestLearnMultiSubThresholdFoldsIn(t *testing.T) {
+	g := prefWorld(t)
+	eng := route.NewEngine(g)
+	var paths []roadnet.Path
+	for i := 0; i < 9; i++ {
+		p, _, _ := eng.Route(0, 3, roadnet.DI)
+		paths = append(paths, p)
+	}
+	// One outlier path under a different preference: below a 0.3
+	// support floor it must fold into the main cluster.
+	p, _, _ := eng.Route(0, 3, roadnet.TT)
+	paths = append(paths, p)
+	l := NewLearner(g)
+	l.MaxPaths = 0
+	res := l.LearnMulti(paths, 2, 0.3)
+	if len(res.Prefs) != 1 {
+		t.Fatalf("outlier not folded: %+v", res.Prefs)
+	}
+	if res.Prefs[0].Support != 1 {
+		t.Fatalf("support = %v", res.Prefs[0].Support)
+	}
+}

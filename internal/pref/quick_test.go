@@ -1,0 +1,156 @@
+package pref
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// quickGraph builds a random connected grid-with-chords graph for the
+// similarity property tests.
+func quickGraph(seed int64) *roadnet.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := roadnet.NewBuilder()
+	const n = 20
+	for i := 0; i < n; i++ {
+		b.AddVertex(geo.Point{X: rng.Float64() * 2000, Y: rng.Float64() * 2000})
+	}
+	for i := 0; i < n; i++ {
+		b.AddRoad(roadnet.VertexID(i), roadnet.VertexID((i+1)%n), roadnet.Tertiary)
+	}
+	for k := 0; k < n; k++ {
+		u, v := roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n))
+		if u != v {
+			b.AddRoad(u, v, roadnet.RoadType(rng.Intn(int(roadnet.NumRoadTypes))))
+		}
+	}
+	return b.Build()
+}
+
+// randomWalk produces a random simple-edge path in g: no directed edge
+// is traversed twice (the similarity measures treat paths as edge sets,
+// so repeated edges would make even self-similarity fall below 1).
+func randomWalk(g *roadnet.Graph, rng *rand.Rand, steps int) roadnet.Path {
+	v := roadnet.VertexID(rng.Intn(g.NumVertices()))
+	p := roadnet.Path{v}
+	used := make(map[roadnet.EdgeID]bool)
+	for i := 0; i < steps; i++ {
+		out := g.Out(v)
+		var fresh []roadnet.EdgeID
+		for _, e := range out {
+			if !used[e] {
+				fresh = append(fresh, e)
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		id := fresh[rng.Intn(len(fresh))]
+		used[id] = true
+		v = g.Edge(id).To
+		p = append(p, v)
+	}
+	return p
+}
+
+// TestQuickSimilarityBounds: both Eq. 1 and Eq. 4 similarities lie in
+// [0, 1] for arbitrary path pairs, and Eq. 4 never exceeds Eq. 1
+// (its denominator uses the union of segments, which is at least the
+// ground-truth length).
+func TestQuickSimilarityBounds(t *testing.T) {
+	f := func(seed int64, aSteps, bSteps uint8) bool {
+		g := quickGraph(seed)
+		rng := rand.New(rand.NewSource(seed + 1))
+		gt := randomWalk(g, rng, 2+int(aSteps%20))
+		cand := randomWalk(g, rng, 2+int(bSteps%20))
+		e1 := SimEq1(g, gt, cand)
+		e4 := SimEq4(g, gt, cand)
+		if e1 < 0 || e1 > 1+1e-12 || e4 < 0 || e4 > 1+1e-12 {
+			return false
+		}
+		return e4 <= e1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSelfSimilarity: any path is fully similar to itself under
+// both measures.
+func TestQuickSelfSimilarity(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		g := quickGraph(seed)
+		rng := rand.New(rand.NewSource(seed + 2))
+		p := randomWalk(g, rng, 2+int(steps%20))
+		if len(p) < 2 {
+			return true
+		}
+		return SimEq1(g, p, p) > 1-1e-12 && SimEq4(g, p, p) > 1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEq4Symmetry: Eq. 4 (intersection over union) is symmetric in
+// its arguments; Eq. 1 is not, in general.
+func TestQuickEq4Symmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		g := quickGraph(seed)
+		rng := rand.New(rand.NewSource(seed + 3))
+		a := randomWalk(g, rng, 12)
+		b := randomWalk(g, rng, 12)
+		d := SimEq4(g, a, b) - SimEq4(g, b, a)
+		return d < 1e-12 && d > -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDisjointPathsZero: paths sharing no edge have similarity 0.
+func TestQuickDisjointPathsZero(t *testing.T) {
+	b := roadnet.NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddVertex(geo.Point{X: float64(i) * 100})
+	}
+	// Two parallel chains: 0-1-2 and 3-4-5.
+	b.AddRoad(0, 1, roadnet.Residential)
+	b.AddRoad(1, 2, roadnet.Residential)
+	b.AddRoad(3, 4, roadnet.Residential)
+	b.AddRoad(4, 5, roadnet.Residential)
+	g := b.Build()
+	p1 := roadnet.Path{0, 1, 2}
+	p2 := roadnet.Path{3, 4, 5}
+	if SimEq1(g, p1, p2) != 0 || SimEq4(g, p1, p2) != 0 {
+		t.Fatal("disjoint paths have nonzero similarity")
+	}
+}
+
+// TestQuickSlaveFeatureRoundTrip: SlaveOf/Contains agree for arbitrary
+// road-type subsets.
+func TestQuickSlaveFeatureRoundTrip(t *testing.T) {
+	f := func(mask uint8) bool {
+		mask %= 1 << roadnet.NumRoadTypes
+		var types []roadnet.RoadType
+		for t := roadnet.RoadType(0); t < roadnet.NumRoadTypes; t++ {
+			if mask&(1<<t) != 0 {
+				types = append(types, t)
+			}
+		}
+		s := SlaveOf(types...)
+		for t := roadnet.RoadType(0); t < roadnet.NumRoadTypes; t++ {
+			want := mask&(1<<t) != 0
+			if s.Contains(t) != want {
+				return false
+			}
+		}
+		return s.Empty() == (mask == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,485 @@
+// Package region implements Section IV-B of the paper: the region graph
+// built on top of the clustering output. Region edges are T-edges when
+// trajectories connect the two regions (carrying the trajectory path
+// sets and transfer centers) and B-edges when added by the BFS procedure
+// that makes the region graph connected. Regions also keep inner-region
+// paths for same-region routing (Section VI, Case 1).
+package region
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/geo"
+	"repro/internal/pref"
+	"repro/internal/roadnet"
+)
+
+// EdgeKind distinguishes trajectory-backed region edges from
+// connectivity-only ones.
+type EdgeKind uint8
+
+// Region edge kinds.
+const (
+	TEdge EdgeKind = iota
+	BEdge
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	if k == TEdge {
+		return "T-edge"
+	}
+	return "B-edge"
+}
+
+// PathInfo is one distinct path associated with a region edge, with the
+// number of trajectories that used it.
+type PathInfo struct {
+	Path  roadnet.Path
+	Count int
+	// Terminal counts the contributing trajectories whose own trip
+	// started in one of the edge's regions and ended in the other —
+	// their full path IS this fragment, so the fragment carries exactly
+	// the routing preference of travel between the two regions.
+	// Fragments with Terminal = 0 come from trajectories merely passing
+	// through both regions en route elsewhere.
+	Terminal int
+}
+
+// Edge is a region edge. Regions are stored with R1 < R2; the two path
+// sets keep direction.
+type Edge struct {
+	ID   int
+	R1   int
+	R2   int
+	Kind EdgeKind
+	// PathsFwd holds paths leaving R1 and entering R2; PathsRev the
+	// opposite direction. B-edges start empty and are filled by the
+	// preference-transfer step.
+	PathsFwd []PathInfo
+	PathsRev []PathInfo
+	// Pref is the learned (T-edge) or transferred (B-edge) routing
+	// preference; HasPref reports whether one is set. B-edges that the
+	// transfer step could not label fall back to fastest paths, per the
+	// paper.
+	Pref    pref.Preference
+	HasPref bool
+
+	// fwdHashes/revHashes cache hashPath per stored path so AddPath's
+	// dedup scan compares 8-byte hashes instead of re-hashing whole
+	// paths (quadratic at build time for popular edges). They are
+	// rebuilt lazily, so snapshots need not carry them.
+	fwdHashes, revHashes []uint64
+}
+
+// Other returns the endpoint of e that is not r.
+func (e *Edge) Other(r int) int {
+	if e.R1 == r {
+		return e.R2
+	}
+	return e.R1
+}
+
+// PathsFrom returns the path set for travel out of region r over e.
+func (e *Edge) PathsFrom(r int) []PathInfo {
+	if e.R1 == r {
+		return e.PathsFwd
+	}
+	return e.PathsRev
+}
+
+// AddPath registers a trajectory path from region `from` across e,
+// deduplicating identical paths by content hash. terminal marks paths of
+// trajectories whose trip ODs are exactly this region pair.
+func (e *Edge) AddPath(from int, p roadnet.Path, terminal bool) {
+	set, hashes := &e.PathsRev, &e.revHashes
+	if e.R1 == from {
+		set, hashes = &e.PathsFwd, &e.fwdHashes
+	}
+	if len(*hashes) != len(*set) { // restored from snapshot or reset
+		*hashes = make([]uint64, len(*set))
+		for i := range *set {
+			(*hashes)[i] = hashPath((*set)[i].Path)
+		}
+	}
+	h := hashPath(p)
+	t := 0
+	if terminal {
+		t = 1
+	}
+	for i, hv := range *hashes {
+		if hv == h && samePath((*set)[i].Path, p) {
+			(*set)[i].Count++
+			(*set)[i].Terminal += t
+			return
+		}
+	}
+	*set = append(*set, PathInfo{Path: append(roadnet.Path(nil), p...), Count: 1, Terminal: t})
+	*hashes = append(*hashes, h)
+}
+
+func hashPath(p roadnet.Path) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range p {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func samePath(a, b roadnet.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InnerPath is a within-region sub-path of a trajectory, from the vertex
+// where the trajectory entered the region to where it left.
+type InnerPath struct {
+	Path  roadnet.Path
+	Count int
+	// Terminal counts contributing trajectories whose whole trip lay
+	// inside the region — true local trips, as opposed to segments of
+	// journeys passing through.
+	Terminal int
+}
+
+// Graph is the region graph G_R.
+type Graph struct {
+	Road    *roadnet.Graph
+	Regions []cluster.Region
+
+	// regionOf maps road vertex -> region ID, or -1.
+	regionOf []int32
+	// Edges holds all region edges; adj indexes them per region.
+	Edges []*Edge
+	adj   [][]int
+	index map[[2]int]int
+
+	// centroids[r] is the mean member location of region r.
+	centroids []geo.Point
+	// inner[r] lists the inner-region paths of region r; innerHash
+	// caches hashPath per entry for AddPaths-time dedup (lazy).
+	inner     [][]InnerPath
+	innerHash [][]uint64
+	// transferCenters[r] lists vertices where trajectories entered or
+	// left region r, most frequent first.
+	transferCenters [][]roadnet.VertexID
+	// topTypes[r] is the region's top-k road-type set (Section V-B
+	// functionality feature).
+	topTypes [][]roadnet.RoadType
+}
+
+// NumRegions returns the number of regions.
+func (g *Graph) NumRegions() int { return len(g.Regions) }
+
+// RegionOf returns the region containing road vertex v, or -1.
+func (g *Graph) RegionOf(v roadnet.VertexID) int { return int(g.regionOf[v]) }
+
+// Centroid returns the centroid of region r.
+func (g *Graph) Centroid(r int) geo.Point { return g.centroids[r] }
+
+// EdgesOf returns the indices into Edges of region r's edges.
+func (g *Graph) EdgesOf(r int) []int { return g.adj[r] }
+
+// FindEdge returns the region edge between r1 and r2, or nil.
+func (g *Graph) FindEdge(r1, r2 int) *Edge {
+	if i, ok := g.index[pairKey(r1, r2)]; ok {
+		return g.Edges[i]
+	}
+	return nil
+}
+
+// InnerPaths returns region r's inner paths.
+func (g *Graph) InnerPaths(r int) []InnerPath { return g.inner[r] }
+
+// TransferCenters returns region r's transfer centers, most used first.
+// Regions never visited by trajectories fall back to their member vertex
+// closest to the centroid.
+func (g *Graph) TransferCenters(r int) []roadnet.VertexID {
+	if len(g.transferCenters[r]) > 0 {
+		return g.transferCenters[r]
+	}
+	best := g.Regions[r].Members[0]
+	bd := g.Road.Point(best).Dist(g.centroids[r])
+	for _, v := range g.Regions[r].Members[1:] {
+		if d := g.Road.Point(v).Dist(g.centroids[r]); d < bd {
+			best, bd = v, d
+		}
+	}
+	return []roadnet.VertexID{best}
+}
+
+// TopRoadTypes returns the region's top-k road-type functionality set.
+func (g *Graph) TopRoadTypes(r int) []roadnet.RoadType { return g.topTypes[r] }
+
+// TEdgeCount returns the number of T-edges.
+func (g *Graph) TEdgeCount() int {
+	n := 0
+	for _, e := range g.Edges {
+		if e.Kind == TEdge {
+			n++
+		}
+	}
+	return n
+}
+
+// BEdgeCount returns the number of B-edges.
+func (g *Graph) BEdgeCount() int { return len(g.Edges) - g.TEdgeCount() }
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (g *Graph) edge(r1, r2 int, kind EdgeKind) *Edge {
+	key := pairKey(r1, r2)
+	if i, ok := g.index[key]; ok {
+		return g.Edges[i]
+	}
+	e := &Edge{ID: len(g.Edges), R1: key[0], R2: key[1], Kind: kind}
+	g.index[key] = e.ID
+	g.Edges = append(g.Edges, e)
+	g.adj[e.R1] = append(g.adj[e.R1], e.ID)
+	g.adj[e.R2] = append(g.adj[e.R2], e.ID)
+	return e
+}
+
+// Options tunes region-graph construction.
+type Options struct {
+	// TopK is the size of the region road-type functionality set
+	// (default 2).
+	TopK int
+	// MaxRegionSpan caps, per trajectory, the number of later regions
+	// each visit is paired with when constructing T-edges; a trajectory
+	// through m regions yields up to m·MaxRegionSpan T-edge
+	// contributions instead of m·(m−1)/2. 0 means unlimited, as in the
+	// paper.
+	MaxRegionSpan int
+	// MaxTransferCenters caps the per-region transfer-center list used
+	// when materializing B-edge paths (default 4).
+	MaxTransferCenters int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopK == 0 {
+		o.TopK = 2
+	}
+	if o.MaxTransferCenters == 0 {
+		o.MaxTransferCenters = 4
+	}
+	return o
+}
+
+// visit is a maximal run of consecutive trajectory vertices inside one
+// region.
+type visit struct {
+	region      int
+	entry, exit int // indices into the trajectory path
+}
+
+// Build constructs the region graph from clustering output and
+// map-matched trajectory paths. It creates T-edges, transfer centers and
+// inner-region paths; call ConnectBFS afterwards to add B-edges.
+func Build(road *roadnet.Graph, regions []cluster.Region, paths []roadnet.Path, opt Options) *Graph {
+	opt = opt.withDefaults()
+	g := &Graph{
+		Road:    road,
+		Regions: regions,
+		index:   make(map[[2]int]int),
+	}
+	n := road.NumVertices()
+	g.regionOf = make([]int32, n)
+	for i := range g.regionOf {
+		g.regionOf[i] = -1
+	}
+	for _, r := range regions {
+		for _, v := range r.Members {
+			g.regionOf[v] = int32(r.ID)
+		}
+	}
+	g.adj = make([][]int, len(regions))
+	g.inner = make([][]InnerPath, len(regions))
+	g.centroids = make([]geo.Point, len(regions))
+	for _, r := range regions {
+		pts := make([]geo.Point, len(r.Members))
+		for i, v := range r.Members {
+			pts[i] = road.Point(v)
+		}
+		g.centroids[r.ID] = geo.Centroid(pts)
+	}
+	g.computeTopTypes(opt.TopK)
+
+	tcCount := make([]map[roadnet.VertexID]int, len(regions))
+	for i := range tcCount {
+		tcCount[i] = make(map[roadnet.VertexID]int)
+	}
+
+	for _, p := range paths {
+		visits := segmentVisits(g, p)
+		// Inner paths and transfer centers.
+		for _, vis := range visits {
+			entryV, exitV := p[vis.entry], p[vis.exit]
+			tcCount[vis.region][entryV]++
+			if exitV != entryV {
+				tcCount[vis.region][exitV]++
+			}
+			if vis.exit > vis.entry {
+				sub := append(roadnet.Path(nil), p[vis.entry:vis.exit+1]...)
+				g.addInner(vis.region, sub, vis.entry == 0 && vis.exit == len(p)-1)
+			}
+		}
+		// T-edges between every ordered pair of visited regions.
+		for i := 0; i < len(visits); i++ {
+			limit := len(visits)
+			if opt.MaxRegionSpan > 0 && i+1+opt.MaxRegionSpan < limit {
+				limit = i + 1 + opt.MaxRegionSpan
+			}
+			for j := i + 1; j < limit; j++ {
+				ri, rj := visits[i].region, visits[j].region
+				if ri == rj {
+					continue
+				}
+				e := g.edge(ri, rj, TEdge)
+				e.Kind = TEdge // upgrade if it was created as a B-edge
+				// The T-edge path runs from where the trajectory left Ri
+				// to where it entered Rj. The fragment is terminal when
+				// the trajectory's own trip starts and ends in these
+				// regions.
+				terminal := i == 0 && j == len(visits)-1
+				sub := append(roadnet.Path(nil), p[visits[i].exit:visits[j].entry+1]...)
+				if len(sub) >= 2 {
+					e.AddPath(ri, sub, terminal)
+				}
+			}
+		}
+	}
+
+	// Materialize transfer-center lists, most frequent first.
+	g.transferCenters = make([][]roadnet.VertexID, len(regions))
+	for r, m := range tcCount {
+		type vc struct {
+			v roadnet.VertexID
+			c int
+		}
+		vcs := make([]vc, 0, len(m))
+		for v, c := range m {
+			vcs = append(vcs, vc{v, c})
+		}
+		sort.Slice(vcs, func(i, j int) bool {
+			if vcs[i].c != vcs[j].c {
+				return vcs[i].c > vcs[j].c
+			}
+			return vcs[i].v < vcs[j].v
+		})
+		if len(vcs) > opt.MaxTransferCenters {
+			vcs = vcs[:opt.MaxTransferCenters]
+		}
+		for _, x := range vcs {
+			g.transferCenters[r] = append(g.transferCenters[r], x.v)
+		}
+	}
+	return g
+}
+
+// segmentVisits splits a trajectory path into maximal same-region runs.
+// Vertices outside all regions separate visits but create none.
+func segmentVisits(g *Graph, p roadnet.Path) []visit {
+	var out []visit
+	cur := -1
+	for i, v := range p {
+		r := g.RegionOf(v)
+		if r < 0 {
+			cur = -1
+			continue
+		}
+		if cur >= 0 && out[len(out)-1].region == r && cur == i-1 {
+			out[len(out)-1].exit = i
+		} else {
+			out = append(out, visit{region: r, entry: i, exit: i})
+		}
+		cur = i
+	}
+	return out
+}
+
+func (g *Graph) addInner(r int, p roadnet.Path, terminal bool) {
+	if g.innerHash == nil {
+		g.innerHash = make([][]uint64, len(g.inner))
+	}
+	if len(g.innerHash[r]) != len(g.inner[r]) { // restored from snapshot
+		g.innerHash[r] = make([]uint64, len(g.inner[r]))
+		for i := range g.inner[r] {
+			g.innerHash[r][i] = hashPath(g.inner[r][i].Path)
+		}
+	}
+	h := hashPath(p)
+	t := 0
+	if terminal {
+		t = 1
+	}
+	for i, hv := range g.innerHash[r] {
+		if hv == h && samePath(g.inner[r][i].Path, p) {
+			g.inner[r][i].Count++
+			g.inner[r][i].Terminal += t
+			return
+		}
+	}
+	g.inner[r] = append(g.inner[r], InnerPath{Path: p, Count: 1, Terminal: t})
+	g.innerHash[r] = append(g.innerHash[r], h)
+}
+
+// computeTopTypes fills the per-region top-k road-type sets from the
+// edges incident to the region's member vertices in the road network.
+func (g *Graph) computeTopTypes(k int) {
+	g.topTypes = make([][]roadnet.RoadType, len(g.Regions))
+	for _, r := range g.Regions {
+		var counts [roadnet.NumRoadTypes]int
+		for _, v := range r.Members {
+			for _, e := range g.Road.Out(v) {
+				counts[g.Road.Edge(e).Type]++
+			}
+			for _, e := range g.Road.In(v) {
+				counts[g.Road.Edge(e).Type]++
+			}
+		}
+		type tc struct {
+			t roadnet.RoadType
+			c int
+		}
+		var tcs []tc
+		for t := roadnet.RoadType(0); t < roadnet.NumRoadTypes; t++ {
+			if counts[t] > 0 {
+				tcs = append(tcs, tc{t, counts[t]})
+			}
+		}
+		sort.Slice(tcs, func(i, j int) bool {
+			if tcs[i].c != tcs[j].c {
+				return tcs[i].c > tcs[j].c
+			}
+			return tcs[i].t < tcs[j].t
+		})
+		if len(tcs) > k {
+			tcs = tcs[:k]
+		}
+		tt := make([]roadnet.RoadType, len(tcs))
+		for i, x := range tcs {
+			tt[i] = x.t
+		}
+		g.topTypes[r.ID] = tt
+	}
+}

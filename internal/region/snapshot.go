@@ -1,0 +1,106 @@
+package region
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// Snapshot is the serializable image of a region graph. All fields are
+// exported for gob; trajectory-derived state (path sets, inner paths,
+// transfer centers) is carried verbatim because it cannot be recomputed
+// without the original trajectories.
+type Snapshot struct {
+	Regions         []cluster.Region
+	Edges           []Edge
+	Centroids       []geo.Point
+	Inner           [][]InnerPath
+	TransferCenters [][]roadnet.VertexID
+	TopTypes        [][]roadnet.RoadType
+}
+
+// Snapshot captures the graph's full state for persistence.
+func (g *Graph) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Regions:         g.Regions,
+		Edges:           make([]Edge, len(g.Edges)),
+		Centroids:       g.centroids,
+		Inner:           g.inner,
+		TransferCenters: g.transferCenters,
+		TopTypes:        g.topTypes,
+	}
+	for i, e := range g.Edges {
+		s.Edges[i] = *e
+	}
+	return s
+}
+
+// Restore reconstructs a region graph over road from a snapshot,
+// rebuilding the derived indexes (vertex→region map, adjacency, edge
+// index). It validates that region members and edge endpoints are in
+// range for the given road network.
+func Restore(road *roadnet.Graph, s *Snapshot) (*Graph, error) {
+	n := road.NumVertices()
+	g := &Graph{
+		Road:            road,
+		Regions:         s.Regions,
+		centroids:       s.Centroids,
+		inner:           s.Inner,
+		transferCenters: s.TransferCenters,
+		topTypes:        s.TopTypes,
+		index:           make(map[[2]int]int),
+	}
+	if len(s.Centroids) != len(s.Regions) {
+		return nil, fmt.Errorf("region: snapshot has %d centroids for %d regions", len(s.Centroids), len(s.Regions))
+	}
+	g.regionOf = make([]int32, n)
+	for i := range g.regionOf {
+		g.regionOf[i] = -1
+	}
+	for i, r := range s.Regions {
+		if r.ID != i {
+			return nil, fmt.Errorf("region: snapshot region %d has ID %d", i, r.ID)
+		}
+		for _, v := range r.Members {
+			if int(v) < 0 || int(v) >= n {
+				return nil, fmt.Errorf("region: snapshot region %d member %d out of range", i, v)
+			}
+			g.regionOf[v] = int32(i)
+		}
+	}
+	g.adj = make([][]int, len(s.Regions))
+	g.Edges = make([]*Edge, len(s.Edges))
+	for i := range s.Edges {
+		e := s.Edges[i]
+		if e.ID != i {
+			return nil, fmt.Errorf("region: snapshot edge %d has ID %d", i, e.ID)
+		}
+		if e.R1 < 0 || e.R1 >= len(s.Regions) || e.R2 < 0 || e.R2 >= len(s.Regions) {
+			return nil, fmt.Errorf("region: snapshot edge %d endpoints (%d,%d) out of range", i, e.R1, e.R2)
+		}
+		// Drop any hash caches carried over from an in-process
+		// Snapshot(); they would alias the source graph's slices.
+		e.fwdHashes, e.revHashes = nil, nil
+		g.Edges[i] = &e
+		g.adj[e.R1] = append(g.adj[e.R1], i)
+		g.adj[e.R2] = append(g.adj[e.R2], i)
+		g.index[pairKey(e.R1, e.R2)] = i
+	}
+	// Optional slices may be absent in minimal snapshots; normalize to
+	// per-region length so accessors stay in bounds.
+	if g.inner == nil {
+		g.inner = make([][]InnerPath, len(s.Regions))
+	}
+	if g.transferCenters == nil {
+		g.transferCenters = make([][]roadnet.VertexID, len(s.Regions))
+	}
+	if g.topTypes == nil {
+		g.topTypes = make([][]roadnet.RoadType, len(s.Regions))
+	}
+	if len(g.inner) != len(s.Regions) || len(g.transferCenters) != len(s.Regions) || len(g.topTypes) != len(s.Regions) {
+		return nil, fmt.Errorf("region: snapshot per-region slices disagree with region count")
+	}
+	return g, nil
+}

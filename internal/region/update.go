@@ -1,0 +1,134 @@
+package region
+
+import (
+	"repro/internal/roadnet"
+)
+
+// This file implements incremental region-graph maintenance: feeding
+// new trajectories into an already built graph. The paper names
+// "real-time region graph updates when receiving new trajectories" as
+// future work (Section VIII); the supported increment here keeps the
+// clustering fixed and updates everything derived from trajectories —
+// T-edge path sets, inner-region paths, transfer centers, and B-edge →
+// T-edge upgrades — while reporting how much of the new data fell
+// outside existing regions (the signal that a full re-clustering is
+// due).
+
+// UpdateStats summarizes one incremental ingestion.
+type UpdateStats struct {
+	// Paths is the number of trajectory paths processed.
+	Paths int
+	// UpgradedEdges counts B-edges that received their first real
+	// trajectory path and became T-edges.
+	UpgradedEdges int
+	// NewEdges counts region pairs newly connected by trajectories.
+	NewEdges int
+	// TouchedEdges lists the IDs of all region edges whose path sets
+	// changed; callers re-learn preferences for exactly these.
+	TouchedEdges []int
+	// OutOfRegionVertices counts path vertices that belong to no
+	// region. A high ratio to TotalVertices means the fixed clustering
+	// no longer covers the traffic and a rebuild is warranted.
+	OutOfRegionVertices int
+	// TotalVertices is the total number of path vertices seen.
+	TotalVertices int
+}
+
+// StalenessRatio returns the fraction of new-path vertices not covered
+// by any region (0 when nothing was ingested).
+func (s UpdateStats) StalenessRatio() float64 {
+	if s.TotalVertices == 0 {
+		return 0
+	}
+	return float64(s.OutOfRegionVertices) / float64(s.TotalVertices)
+}
+
+// AddPaths ingests new trajectory paths into the built region graph,
+// keeping the region partition fixed. Options mirror the ones used at
+// build time; pass the same values for consistent behaviour.
+func (g *Graph) AddPaths(paths []roadnet.Path, opt Options) UpdateStats {
+	opt = opt.withDefaults()
+	var st UpdateStats
+	st.Paths = len(paths)
+	touched := make(map[int]bool)
+
+	for _, p := range paths {
+		for _, v := range p {
+			st.TotalVertices++
+			if g.RegionOf(v) < 0 {
+				st.OutOfRegionVertices++
+			}
+		}
+		visits := segmentVisits(g, p)
+		for _, vis := range visits {
+			entryV, exitV := p[vis.entry], p[vis.exit]
+			g.bumpTransferCenter(vis.region, entryV, opt.MaxTransferCenters)
+			if exitV != entryV {
+				g.bumpTransferCenter(vis.region, exitV, opt.MaxTransferCenters)
+			}
+			if vis.exit > vis.entry {
+				sub := append(roadnet.Path(nil), p[vis.entry:vis.exit+1]...)
+				g.addInner(vis.region, sub, vis.entry == 0 && vis.exit == len(p)-1)
+			}
+		}
+		for i := 0; i < len(visits); i++ {
+			limit := len(visits)
+			if opt.MaxRegionSpan > 0 && i+1+opt.MaxRegionSpan < limit {
+				limit = i + 1 + opt.MaxRegionSpan
+			}
+			for j := i + 1; j < limit; j++ {
+				ri, rj := visits[i].region, visits[j].region
+				if ri == rj {
+					continue
+				}
+				existing := g.FindEdge(ri, rj)
+				wasB := existing != nil && existing.Kind == BEdge
+				isNew := existing == nil
+				e := g.edge(ri, rj, TEdge)
+				if e.Kind == BEdge {
+					// Upgrade: the first trajectory evidence replaces
+					// the transferred preference and materialized
+					// paths with real data.
+					e.Kind = TEdge
+					e.PathsFwd = nil
+					e.PathsRev = nil
+					e.HasPref = false
+				}
+				sub := append(roadnet.Path(nil), p[visits[i].exit:visits[j].entry+1]...)
+				if len(sub) < 2 {
+					continue
+				}
+				terminal := i == 0 && j == len(visits)-1
+				e.AddPath(ri, sub, terminal)
+				if !touched[e.ID] {
+					touched[e.ID] = true
+					st.TouchedEdges = append(st.TouchedEdges, e.ID)
+					if wasB {
+						st.UpgradedEdges++
+					}
+					if isNew {
+						st.NewEdges++
+					}
+				}
+			}
+		}
+	}
+	return st
+}
+
+// bumpTransferCenter promotes v within region r's transfer-center list,
+// appending it if absent and the list has room. The incremental variant
+// cannot recount exactly (build-time counts are not retained), so it
+// uses presence plus bounded growth — sufficient for B-edge path
+// materialization, which only needs a small representative set.
+func (g *Graph) bumpTransferCenter(r int, v roadnet.VertexID, maxCenters int) {
+	tc := g.transferCenters[r]
+	for _, x := range tc {
+		if x == v {
+			return
+		}
+	}
+	if len(tc) < maxCenters {
+		g.transferCenters[r] = append(tc, v)
+	}
+}

@@ -1,0 +1,358 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+)
+
+// GenConfig parameterizes the synthetic road-network generator. The
+// generator lays out a set of towns, each an urban grid with a road-type
+// hierarchy (residential blocks, tertiary collectors, secondary arterials,
+// a primary cross), and connects towns with trunk/motorway corridors whose
+// geometry is subdivided so highway edges have realistic lengths.
+//
+// This stands in for the paper's OSM extracts: the learning pipeline only
+// observes topology, the four weight functions, and geometry, all of
+// which the generator reproduces at laptop scale.
+type GenConfig struct {
+	Seed int64
+	// Width and Height bound the map in meters.
+	Width, Height float64
+	// Towns is the number of urban grids to place.
+	Towns int
+	// TownMinSide and TownMaxSide bound the number of grid vertices per
+	// town side.
+	TownMinSide, TownMaxSide int
+	// BlockM is the urban block size in meters.
+	BlockM float64
+	// HighwaySegM is the target length of one highway segment in meters.
+	HighwaySegM float64
+	// ExtraLinks adds this many extra nearest-neighbour intercity links
+	// beyond the spanning tree, creating route choice.
+	ExtraLinks int
+	// Jitter perturbs grid vertices by up to this fraction of BlockM.
+	Jitter float64
+}
+
+// N1Like returns a configuration resembling the paper's Denmark network
+// N1 in structure — many towns linked by long highway corridors — at
+// roughly 1/50 scale so experiments run on a laptop.
+func N1Like(seed int64) GenConfig {
+	return GenConfig{
+		Seed:        seed,
+		Width:       64_000,
+		Height:      52_000,
+		Towns:       13,
+		TownMinSide: 14,
+		TownMaxSide: 26,
+		BlockM:      150,
+		HighwaySegM: 900,
+		ExtraLinks:  6,
+		Jitter:      0.25,
+	}
+}
+
+// N2Like returns a configuration resembling the paper's Chengdu network
+// N2 — one dense urban area, short trips — at reduced scale.
+func N2Like(seed int64) GenConfig {
+	return GenConfig{
+		Seed:        seed,
+		Width:       17_000,
+		Height:      13_000,
+		Towns:       5,
+		TownMinSide: 22,
+		TownMaxSide: 34,
+		BlockM:      130,
+		HighwaySegM: 600,
+		ExtraLinks:  3,
+		Jitter:      0.2,
+	}
+}
+
+// Tiny returns a small configuration for tests.
+func Tiny(seed int64) GenConfig {
+	return GenConfig{
+		Seed:        seed,
+		Width:       8_000,
+		Height:      6_000,
+		Towns:       3,
+		TownMinSide: 5,
+		TownMaxSide: 8,
+		BlockM:      150,
+		HighwaySegM: 500,
+		ExtraLinks:  1,
+		Jitter:      0.2,
+	}
+}
+
+// Generate builds a synthetic road network from the configuration.
+func Generate(cfg GenConfig) *Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := NewBuilder()
+
+	centers := placeTownCenters(rng, cfg)
+	towns := make([]town, len(centers))
+	for i, c := range centers {
+		towns[i] = buildTown(b, rng, cfg, c)
+	}
+
+	links := intercityLinks(centers, cfg.ExtraLinks)
+	for _, l := range links {
+		buildCorridor(b, rng, cfg, towns[l[0]], towns[l[1]])
+	}
+	return b.Build()
+}
+
+type town struct {
+	center geo.Point
+	// border lists access vertices on the town boundary, one per side.
+	border []VertexID
+	// radius approximates the town extent in meters.
+	radius float64
+}
+
+func placeTownCenters(rng *rand.Rand, cfg GenConfig) []geo.Point {
+	// Poisson-disc-flavoured rejection sampling: towns must keep a
+	// minimum separation so corridors are meaningful.
+	minSep := math.Sqrt(cfg.Width*cfg.Height/float64(cfg.Towns)) * 0.65
+	margin := float64(cfg.TownMaxSide) * cfg.BlockM / 2
+	var centers []geo.Point
+	for attempts := 0; len(centers) < cfg.Towns && attempts < 10_000; attempts++ {
+		p := geo.Pt(
+			margin+rng.Float64()*(cfg.Width-2*margin),
+			margin+rng.Float64()*(cfg.Height-2*margin),
+		)
+		ok := true
+		for _, c := range centers {
+			if c.Dist(p) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			centers = append(centers, p)
+		}
+	}
+	return centers
+}
+
+// buildTown lays out an nx×ny urban grid centred at c. Road hierarchy:
+// every street is residential except every 3rd line (tertiary), every 6th
+// line (secondary) and the central cross (primary).
+func buildTown(b *Builder, rng *rand.Rand, cfg GenConfig, c geo.Point) town {
+	nx := cfg.TownMinSide + rng.Intn(cfg.TownMaxSide-cfg.TownMinSide+1)
+	ny := cfg.TownMinSide + rng.Intn(cfg.TownMaxSide-cfg.TownMinSide+1)
+	ox := c.X - float64(nx-1)*cfg.BlockM/2
+	oy := c.Y - float64(ny-1)*cfg.BlockM/2
+
+	ids := make([][]VertexID, nx)
+	for i := 0; i < nx; i++ {
+		ids[i] = make([]VertexID, ny)
+		for j := 0; j < ny; j++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter * cfg.BlockM
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter * cfg.BlockM
+			ids[i][j] = b.AddVertex(geo.Pt(ox+float64(i)*cfg.BlockM+jx, oy+float64(j)*cfg.BlockM+jy))
+		}
+	}
+
+	lineType := func(k, mid int) RoadType {
+		switch {
+		case k == mid:
+			return Primary
+		case k%6 == 0:
+			return Secondary
+		case k%3 == 0:
+			return Tertiary
+		default:
+			return Residential
+		}
+	}
+	// Horizontal streets: type determined by row j.
+	for j := 0; j < ny; j++ {
+		t := lineType(j, ny/2)
+		for i := 1; i < nx; i++ {
+			// Drop a few residential segments to avoid a perfect lattice.
+			if t == Residential && rng.Float64() < 0.07 {
+				continue
+			}
+			b.AddRoad(ids[i-1][j], ids[i][j], t)
+		}
+	}
+	// Vertical streets: type determined by column i.
+	for i := 0; i < nx; i++ {
+		t := lineType(i, nx/2)
+		for j := 1; j < ny; j++ {
+			if t == Residential && rng.Float64() < 0.07 {
+				continue
+			}
+			b.AddRoad(ids[i][j-1], ids[i][j], t)
+		}
+	}
+
+	tw := town{center: c, radius: math.Max(float64(nx), float64(ny)) * cfg.BlockM / 2}
+	// Access vertices: midpoints of the four sides, preferring the
+	// primary cross endpoints so corridors meet arterials.
+	tw.border = []VertexID{
+		ids[nx/2][0], ids[nx/2][ny-1], ids[0][ny/2], ids[nx-1][ny/2],
+	}
+	return tw
+}
+
+// intercityLinks returns index pairs of towns to connect: a minimum
+// spanning tree (Prim) plus the given number of extra shortest
+// non-tree links.
+func intercityLinks(centers []geo.Point, extra int) [][2]int {
+	n := len(centers)
+	if n < 2 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		dist[i] = centers[0].Dist(centers[i])
+		from[i] = 0
+	}
+	var links [][2]int
+	used := make(map[[2]int]bool)
+	for len(links) < n-1 {
+		best, bd := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bd {
+				best, bd = i, dist[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inTree[best] = true
+		l := orderPair(from[best], best)
+		links = append(links, l)
+		used[l] = true
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := centers[best].Dist(centers[i]); d < dist[i] {
+					dist[i], from[i] = d, best
+				}
+			}
+		}
+	}
+	// Extra links: globally shortest unused pairs.
+	type cand struct {
+		pair [2]int
+		d    float64
+	}
+	var cands []cand
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := [2]int{i, j}
+			if !used[p] {
+				cands = append(cands, cand{p, centers[i].Dist(centers[j])})
+			}
+		}
+	}
+	for k := 0; k < extra && len(cands) > 0; k++ {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].d < cands[best].d {
+				best = i
+			}
+		}
+		links = append(links, cands[best].pair)
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+	return links
+}
+
+func orderPair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// buildCorridor connects two towns with a subdivided highway polyline.
+// Long corridors become motorways, medium ones trunks, short ones primary
+// roads, so that Fastest and Shortest genuinely disagree on long trips —
+// the structural property the paper's evaluation depends on.
+func buildCorridor(b *Builder, rng *rand.Rand, cfg GenConfig, a, c town) {
+	pa, pc := nearestBorder(b, a, c.center), nearestBorder(b, c, a.center)
+	start, end := b.Point(pa), b.Point(pc)
+	d := start.Dist(end)
+
+	t := Primary
+	switch {
+	case d > 12_000:
+		t = Motorway
+	case d > 4_000:
+		t = Trunk
+	}
+
+	segs := int(math.Max(1, math.Round(d/cfg.HighwaySegM)))
+	// A gentle arc: highways are not straight lines, which keeps DI and
+	// TT optima distinct even between the same endpoints.
+	perp := geo.Pt(-(end.Y - start.Y), end.X-start.X)
+	if n := perp.Norm(); n > 0 {
+		perp = perp.Scale(1 / n)
+	}
+	bulge := d * (0.04 + rng.Float64()*0.06)
+	if rng.Intn(2) == 0 {
+		bulge = -bulge
+	}
+
+	prev := pa
+	for i := 1; i < segs; i++ {
+		f := float64(i) / float64(segs)
+		base := geo.Lerp(start, end, f)
+		arc := 4 * f * (1 - f) // parabola peaking mid-corridor
+		p := base.Add(perp.Scale(bulge * arc))
+		jit := cfg.HighwaySegM * 0.1
+		p = p.Add(geo.Pt((rng.Float64()*2-1)*jit, (rng.Float64()*2-1)*jit))
+		v := b.AddVertex(p)
+		b.AddRoad(prev, v, t)
+		prev = v
+	}
+	b.AddRoad(prev, pc, t)
+}
+
+func nearestBorder(b *Builder, t town, toward geo.Point) VertexID {
+	best := t.border[0]
+	bd := b.Point(best).Dist(toward)
+	for _, v := range t.border[1:] {
+		if d := b.Point(v).Dist(toward); d < bd {
+			best, bd = v, d
+		}
+	}
+	return best
+}
+
+// GenerateGrid builds a plain nx×ny grid with the given spacing where all
+// streets are the given type. Intended for unit tests.
+func GenerateGrid(nx, ny int, spacing float64, t RoadType) *Graph {
+	b := NewBuilder()
+	ids := make([][]VertexID, nx)
+	for i := 0; i < nx; i++ {
+		ids[i] = make([]VertexID, ny)
+		for j := 0; j < ny; j++ {
+			ids[i][j] = b.AddVertex(geo.Pt(float64(i)*spacing, float64(j)*spacing))
+		}
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if i+1 < nx {
+				b.AddRoad(ids[i][j], ids[i+1][j], t)
+			}
+			if j+1 < ny {
+				b.AddRoad(ids[i][j], ids[i][j+1], t)
+			}
+		}
+	}
+	return b.Build()
+}

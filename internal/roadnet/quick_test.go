@@ -1,0 +1,89 @@
+package roadnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickGeneratedNetworksValid: every generator configuration yields
+// a graph that passes structural validation for arbitrary seeds.
+func TestQuickGeneratedNetworksValid(t *testing.T) {
+	f := func(seed int64) bool {
+		seed %= 50
+		if seed < 0 {
+			seed = -seed
+		}
+		for _, g := range []*Graph{
+			Generate(Tiny(seed)),
+			GenerateGrid(3+int(seed%5), 3+int(seed%4), 120, Residential),
+		} {
+			if err := Validate(g); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if g.NumVertices() == 0 || g.NumEdges() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEdgeWeightsPositive: every edge of a generated network has
+// strictly positive DI/TT/FC weights and an in-range road type — the
+// precondition of every shortest-path algorithm in the repository.
+func TestQuickEdgeWeightsPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		seed %= 40
+		if seed < 0 {
+			seed = -seed
+		}
+		g := Generate(Tiny(seed))
+		for e := 0; e < g.NumEdges(); e++ {
+			ed := g.Edge(EdgeID(e))
+			if ed.Length <= 0 || ed.TravelTime <= 0 || ed.Fuel <= 0 {
+				return false
+			}
+			if int(ed.Type) >= int(NumRoadTypes) {
+				return false
+			}
+			// Weight accessor agrees with the struct fields.
+			if g.EdgeWeight(EdgeID(e), DI) != ed.Length ||
+				g.EdgeWeight(EdgeID(e), TT) != ed.TravelTime ||
+				g.EdgeWeight(EdgeID(e), FC) != ed.Fuel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCSRSymmetry: the out-CSR and in-CSR views describe the same
+// edge set.
+func TestQuickCSRSymmetry(t *testing.T) {
+	g := Generate(Tiny(19))
+	outCount, inCount := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		outCount += len(g.Out(VertexID(v)))
+		inCount += len(g.In(VertexID(v)))
+		for _, e := range g.Out(VertexID(v)) {
+			if g.Edge(e).From != VertexID(v) {
+				t.Fatalf("out-edge %d of %d has From %d", e, v, g.Edge(e).From)
+			}
+		}
+		for _, e := range g.In(VertexID(v)) {
+			if g.Edge(e).To != VertexID(v) {
+				t.Fatalf("in-edge %d of %d has To %d", e, v, g.Edge(e).To)
+			}
+		}
+	}
+	if outCount != g.NumEdges() || inCount != g.NumEdges() {
+		t.Fatalf("CSR views cover %d/%d edges of %d", outCount, inCount, g.NumEdges())
+	}
+}

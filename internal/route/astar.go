@@ -1,0 +1,69 @@
+package route
+
+import (
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// This file adds goal-directed search (A*) for the scalar weights. The
+// paper leaves query speed-ups (contraction hierarchies etc.) as future
+// work, noting they change efficiency, not accuracy; A* with an
+// admissible Euclidean heuristic is the simplest such speed-up and the
+// ablation bench compares it against plain Dijkstra.
+
+// maxSpeedMS is the fastest speed any road type allows, used to keep the
+// travel-time heuristic admissible.
+var maxSpeedMS = roadnet.Motorway.DefaultSpeedKmh() / 3.6
+
+// heuristic returns an admissible lower bound on the remaining cost from
+// v to d under weight w. For DI it is the Euclidean distance; for TT the
+// Euclidean distance at the network's maximum speed; FC has no useful
+// geometric bound, so it degenerates to zero (plain Dijkstra).
+func (e *Engine) heuristic(w roadnet.Weight, d roadnet.VertexID) func(roadnet.VertexID) float64 {
+	dp := e.g.Point(d)
+	switch w {
+	case roadnet.DI:
+		return func(v roadnet.VertexID) float64 { return e.g.Point(v).Dist(dp) }
+	case roadnet.TT:
+		return func(v roadnet.VertexID) float64 { return e.g.Point(v).Dist(dp) / maxSpeedMS }
+	default:
+		return func(roadnet.VertexID) float64 { return 0 }
+	}
+}
+
+// AStar returns the minimum-cost path from s to d under weight w using
+// goal-directed search. Results equal Route's; only the explored search
+// space shrinks.
+func (e *Engine) AStar(s, d roadnet.VertexID, w roadnet.Weight) (roadnet.Path, float64, bool) {
+	h := e.heuristic(w, d)
+	e.reset()
+	e.dist[s] = 0
+	e.parent[s] = roadnet.NoEdge
+	e.visited[s] = e.epoch
+	e.heap.Push(int(s), h(s))
+	for e.heap.Len() > 0 {
+		ui, _ := e.heap.Pop()
+		u := roadnet.VertexID(ui)
+		e.settled[u] = e.epoch
+		e.PopCount++
+		if u == d {
+			return e.extractPath(d), e.dist[d], true
+		}
+		du := e.dist[u]
+		for _, eid := range e.g.Out(u) {
+			ed := e.g.Edge(eid)
+			alt := du + e.g.EdgeWeight(eid, w)
+			if e.settled[ed.To] == e.epoch {
+				continue
+			}
+			if e.visited[ed.To] != e.epoch || alt < e.dist[ed.To] {
+				e.dist[ed.To] = alt
+				e.parent[ed.To] = eid
+				e.visited[ed.To] = e.epoch
+				e.heap.Push(int(ed.To), alt+h(ed.To))
+			}
+		}
+	}
+	return nil, math.Inf(1), false
+}

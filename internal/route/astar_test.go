@@ -1,0 +1,79 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(31))
+	eng := NewEngine(g)
+	rng := rand.New(rand.NewSource(1))
+	n := g.NumVertices()
+	for _, w := range []roadnet.Weight{roadnet.DI, roadnet.TT, roadnet.FC} {
+		for trial := 0; trial < 60; trial++ {
+			s := roadnet.VertexID(rng.Intn(n))
+			d := roadnet.VertexID(rng.Intn(n))
+			_, want, ok1 := eng.Route(s, d, w)
+			path, got, ok2 := eng.AStar(s, d, w)
+			if ok1 != ok2 {
+				t.Fatalf("%v (%d,%d): reachability differs", w, s, d)
+			}
+			if !ok1 {
+				continue
+			}
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("%v (%d,%d): A* %v != Dijkstra %v", w, s, d, got, want)
+			}
+			if !path.Valid(g) || path[0] != s || path[len(path)-1] != d {
+				t.Fatalf("%v (%d,%d): invalid A* path", w, s, d)
+			}
+		}
+	}
+}
+
+func TestAStarExploresLess(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(32))
+	dij := NewEngine(g)
+	ast := NewEngine(g)
+	rng := rand.New(rand.NewSource(2))
+	n := g.NumVertices()
+	for trial := 0; trial < 50; trial++ {
+		s := roadnet.VertexID(rng.Intn(n))
+		d := roadnet.VertexID(rng.Intn(n))
+		dij.Route(s, d, roadnet.DI)
+		ast.AStar(s, d, roadnet.DI)
+	}
+	if ast.PopCount >= dij.PopCount {
+		t.Errorf("A* settled %d vertices, Dijkstra %d — no speedup", ast.PopCount, dij.PopCount)
+	}
+}
+
+func BenchmarkAStarVsDijkstra(b *testing.B) {
+	g := roadnet.Generate(roadnet.Tiny(33))
+	n := g.NumVertices()
+	pairs := make([][2]roadnet.VertexID, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := range pairs {
+		pairs[i] = [2]roadnet.VertexID{
+			roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n)),
+		}
+	}
+	b.Run("Dijkstra", func(b *testing.B) {
+		eng := NewEngine(g)
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			eng.Route(p[0], p[1], roadnet.DI)
+		}
+	})
+	b.Run("AStar", func(b *testing.B) {
+		eng := NewEngine(g)
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			eng.AStar(p[0], p[1], roadnet.DI)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// bidiRandomGraph builds a ring-plus-chords directed graph.
+func bidiRandomGraph(rng *rand.Rand, n, m int) *roadnet.Graph {
+	b := roadnet.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(geo.Point{X: rng.Float64() * 5000, Y: rng.Float64() * 5000})
+	}
+	for i := 0; i < n; i++ {
+		b.AddRoad(roadnet.VertexID(i), roadnet.VertexID((i+1)%n), roadnet.Tertiary)
+	}
+	for i := 0; i < m; i++ {
+		u, v := roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v, roadnet.RoadType(rng.Intn(int(roadnet.NumRoadTypes))))
+		}
+	}
+	return b.Build()
+}
+
+// TestBidiMatchesDijkstra verifies costs agree with the unidirectional
+// engine on structured and random graphs for every weight.
+func TestBidiMatchesDijkstra(t *testing.T) {
+	graphs := []*roadnet.Graph{
+		roadnet.GenerateGrid(7, 7, 120, roadnet.Residential),
+		roadnet.Generate(roadnet.Tiny(71)),
+		bidiRandomGraph(rand.New(rand.NewSource(5)), 60, 150),
+	}
+	for gi, g := range graphs {
+		eng := NewEngine(g)
+		bidi := NewBidiEngine(g)
+		for _, w := range []roadnet.Weight{roadnet.DI, roadnet.TT, roadnet.FC} {
+			rng := rand.New(rand.NewSource(int64(gi)*7 + int64(w)))
+			for trial := 0; trial < 50; trial++ {
+				s := roadnet.VertexID(rng.Intn(g.NumVertices()))
+				d := roadnet.VertexID(rng.Intn(g.NumVertices()))
+				_, want, okU := eng.Route(s, d, w)
+				p, got, okB := bidi.Route(s, d, w)
+				if okU != okB {
+					t.Fatalf("graph %d w %v (%d->%d): reachability bidi=%v dijkstra=%v", gi, w, s, d, okB, okU)
+				}
+				if !okU {
+					continue
+				}
+				if math.Abs(got-want) > 1e-6*(1+want) {
+					t.Errorf("graph %d w %v (%d->%d): cost bidi=%g dijkstra=%g", gi, w, s, d, got, want)
+				}
+				if !p.Valid(g) || p[0] != s || p[len(p)-1] != d {
+					t.Fatalf("graph %d w %v (%d->%d): bad path %v", gi, w, s, d, p)
+				}
+				if pc := p.Cost(g, w); math.Abs(pc-got) > 1e-6*(1+got) {
+					t.Errorf("graph %d: path cost %g != reported %g", gi, pc, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBidiSameVertex(t *testing.T) {
+	g := roadnet.GenerateGrid(3, 3, 100, roadnet.Residential)
+	bidi := NewBidiEngine(g)
+	p, c, ok := bidi.Route(4, 4, roadnet.DI)
+	if !ok || c != 0 || len(p) != 1 || p[0] != 4 {
+		t.Fatalf("Route(4,4) = %v, %g, %v", p, c, ok)
+	}
+}
+
+func TestBidiDisconnected(t *testing.T) {
+	b := roadnet.NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddVertex(geo.Point{X: float64(i) * 50})
+	}
+	b.AddRoad(0, 1, roadnet.Residential)
+	b.AddRoad(2, 3, roadnet.Residential)
+	g := b.Build()
+	bidi := NewBidiEngine(g)
+	if _, _, ok := bidi.Route(0, 3, roadnet.DI); ok {
+		t.Fatal("disconnected pair reported reachable")
+	}
+}
+
+// TestBidiReusableAcrossQueries checks the epoch mechanism: repeated
+// queries on one engine give the same answers as fresh engines.
+func TestBidiReusableAcrossQueries(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(73))
+	shared := NewBidiEngine(g)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		s := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		d := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		_, got, okS := shared.Route(s, d, roadnet.TT)
+		_, want, okF := NewBidiEngine(g).Route(s, d, roadnet.TT)
+		if okS != okF || (okS && math.Abs(got-want) > 1e-9) {
+			t.Fatalf("trial %d: shared engine diverged: %g vs %g", trial, got, want)
+		}
+	}
+}
+
+// TestQuickBidiEquivalence property-tests bidi vs Dijkstra.
+func TestQuickBidiEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		g := bidiRandomGraph(rng, n, n)
+		eng := NewEngine(g)
+		bidi := NewBidiEngine(g)
+		for i := 0; i < 8; i++ {
+			s := roadnet.VertexID(rng.Intn(n))
+			d := roadnet.VertexID(rng.Intn(n))
+			_, want, okU := eng.Route(s, d, roadnet.DI)
+			_, got, okB := bidi.Route(s, d, roadnet.DI)
+			if okU != okB {
+				return false
+			}
+			if okU && math.Abs(got-want) > 1e-6*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package route implements single-source shortest-path search on road
+// networks: plain Dijkstra under any of the scalar weights (shortest,
+// fastest, most fuel-efficient paths), the paper's preference-aware
+// modified Dijkstra (Algorithm 2), and a stop-condition variant used by
+// the unified routing procedure (Section VI, Case 2) to find the first
+// region reached from an out-of-region endpoint.
+//
+// An Engine owns reusable per-vertex state so repeated queries on the
+// same graph do not reallocate; it is not safe for concurrent use. Use
+// one Engine per goroutine.
+package route
+
+import (
+	"math"
+
+	"repro/internal/container"
+	"repro/internal/roadnet"
+)
+
+// SlavePredicate reports whether a road type satisfies the slave
+// (road-condition) dimension of a routing preference. A nil predicate
+// means "no road-condition preference".
+type SlavePredicate func(roadnet.RoadType) bool
+
+// Engine runs shortest-path queries over a fixed graph, reusing internal
+// buffers across queries.
+type Engine struct {
+	g *roadnet.Graph
+
+	dist    []float64
+	parent  []roadnet.EdgeID
+	visited []uint32 // epoch marks; dist/parent valid iff visited[v]==epoch
+	settled []uint32
+	epoch   uint32
+
+	heap *container.IndexedMinHeap
+
+	// PopCount accumulates the number of heap pops across queries; the
+	// evaluation harness reads it to report search effort.
+	PopCount int64
+}
+
+// NewEngine returns an Engine for g.
+func NewEngine(g *roadnet.Graph) *Engine {
+	n := g.NumVertices()
+	return &Engine{
+		g:       g,
+		dist:    make([]float64, n),
+		parent:  make([]roadnet.EdgeID, n),
+		visited: make([]uint32, n),
+		settled: make([]uint32, n),
+		heap:    container.NewIndexedMinHeap(n),
+	}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *roadnet.Graph { return e.g }
+
+func (e *Engine) reset() {
+	e.epoch++
+	if e.epoch == 0 { // wrapped; clear marks
+		for i := range e.visited {
+			e.visited[i] = 0
+			e.settled[i] = 0
+		}
+		e.epoch = 1
+	}
+	e.heap.Reset()
+}
+
+func (e *Engine) see(v roadnet.VertexID, d float64, via roadnet.EdgeID) {
+	e.dist[v] = d
+	e.parent[v] = via
+	e.visited[v] = e.epoch
+	e.heap.Push(int(v), d)
+}
+
+func (e *Engine) distOf(v roadnet.VertexID) float64 {
+	if e.visited[v] != e.epoch {
+		return math.Inf(1)
+	}
+	return e.dist[v]
+}
+
+// extractPath reconstructs the path ending at d via parent edges.
+func (e *Engine) extractPath(d roadnet.VertexID) roadnet.Path {
+	var rev roadnet.Path
+	v := d
+	for {
+		rev = append(rev, v)
+		pe := e.parent[v]
+		if pe == roadnet.NoEdge {
+			break
+		}
+		v = e.g.Edge(pe).From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Route returns the minimum-cost path from s to d under weight w, its
+// cost, and whether d is reachable.
+func (e *Engine) Route(s, d roadnet.VertexID, w roadnet.Weight) (roadnet.Path, float64, bool) {
+	return e.RoutePref(s, d, w, nil)
+}
+
+// Shortest returns the minimum-distance path.
+func (e *Engine) Shortest(s, d roadnet.VertexID) (roadnet.Path, float64, bool) {
+	return e.Route(s, d, roadnet.DI)
+}
+
+// Fastest returns the minimum-travel-time path.
+func (e *Engine) Fastest(s, d roadnet.VertexID) (roadnet.Path, float64, bool) {
+	return e.Route(s, d, roadnet.TT)
+}
+
+// RoutePref implements the paper's Algorithm 2
+// (ApplyingPreferencesModifiedDijkstra). The master dimension chooses the
+// scalar weight minimized; the slave predicate restricts expansion: when
+// at least one out-edge of the settled vertex satisfies the slave
+// road-condition preference, only satisfying edges are relaxed; when none
+// does, all out-edges are relaxed. A nil slave gives classical Dijkstra.
+func (e *Engine) RoutePref(s, d roadnet.VertexID, w roadnet.Weight, slave SlavePredicate) (roadnet.Path, float64, bool) {
+	e.reset()
+	e.see(s, 0, roadnet.NoEdge)
+	for e.heap.Len() > 0 {
+		ui, du := e.heap.Pop()
+		u := roadnet.VertexID(ui)
+		e.settled[u] = e.epoch
+		e.PopCount++
+		if u == d {
+			return e.extractPath(d), du, true
+		}
+		e.relax(u, du, w, slave)
+	}
+	return nil, math.Inf(1), false
+}
+
+func (e *Engine) relax(u roadnet.VertexID, du float64, w roadnet.Weight, slave SlavePredicate) {
+	out := e.g.Out(u)
+	restrict := false
+	if slave != nil {
+		// Case (i) of Algorithm 2: some out-edge satisfies the slave
+		// preference — explore only those. Case (ii): none does —
+		// explore all.
+		for _, eid := range out {
+			if slave(e.g.Edge(eid).Type) {
+				restrict = true
+				break
+			}
+		}
+	}
+	for _, eid := range out {
+		ed := e.g.Edge(eid)
+		if restrict && !slave(ed.Type) {
+			continue
+		}
+		alt := du + e.g.EdgeWeight(eid, w)
+		if alt < e.distOf(ed.To) {
+			if e.settled[ed.To] == e.epoch {
+				continue // already settled with a smaller key
+			}
+			e.see(ed.To, alt, eid)
+		}
+	}
+}
+
+// RouteUntil runs Dijkstra under weight w from s until the first vertex
+// satisfying stop is settled, returning the path to it. If s itself
+// satisfies stop it is returned immediately. The boolean is false when no
+// satisfying vertex is reachable.
+func (e *Engine) RouteUntil(s roadnet.VertexID, w roadnet.Weight, stop func(roadnet.VertexID) bool) (roadnet.Path, float64, bool) {
+	e.reset()
+	e.see(s, 0, roadnet.NoEdge)
+	for e.heap.Len() > 0 {
+		ui, du := e.heap.Pop()
+		u := roadnet.VertexID(ui)
+		e.settled[u] = e.epoch
+		e.PopCount++
+		if stop(u) {
+			return e.extractPath(u), du, true
+		}
+		e.relax(u, du, w, nil)
+	}
+	return nil, math.Inf(1), false
+}
+
+// OneToAll computes minimum costs from s to every reachable vertex under
+// weight w. The returned slice is indexed by vertex and holds +Inf for
+// unreachable vertices. It is a fresh allocation; the engine's buffers
+// remain reusable.
+func (e *Engine) OneToAll(s roadnet.VertexID, w roadnet.Weight) []float64 {
+	e.reset()
+	e.see(s, 0, roadnet.NoEdge)
+	out := make([]float64, e.g.NumVertices())
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	for e.heap.Len() > 0 {
+		ui, du := e.heap.Pop()
+		u := roadnet.VertexID(ui)
+		e.settled[u] = e.epoch
+		e.PopCount++
+		out[u] = du
+		e.relax(u, du, w, nil)
+	}
+	return out
+}
+
+// ReverseRouteUntil runs Dijkstra backwards from d over in-edges under
+// weight w until the first vertex satisfying stop is settled. It returns
+// the path oriented forward, i.e. from the stop vertex to d. The unified
+// routing procedure uses it to find the region nearest to an
+// out-of-region destination.
+func (e *Engine) ReverseRouteUntil(d roadnet.VertexID, w roadnet.Weight, stop func(roadnet.VertexID) bool) (roadnet.Path, float64, bool) {
+	e.reset()
+	e.see(d, 0, roadnet.NoEdge)
+	for e.heap.Len() > 0 {
+		ui, du := e.heap.Pop()
+		u := roadnet.VertexID(ui)
+		e.settled[u] = e.epoch
+		e.PopCount++
+		if stop(u) {
+			// parent edges point toward d; walk them forward.
+			path := roadnet.Path{u}
+			v := u
+			for {
+				pe := e.parent[v]
+				if pe == roadnet.NoEdge {
+					break
+				}
+				v = e.g.Edge(pe).To
+				path = append(path, v)
+			}
+			return path, du, true
+		}
+		for _, eid := range e.g.In(u) {
+			ed := e.g.Edge(eid)
+			alt := du + e.g.EdgeWeight(eid, w)
+			if e.settled[ed.From] != e.epoch && alt < e.distOf(ed.From) {
+				e.see(ed.From, alt, eid)
+			}
+		}
+	}
+	return nil, math.Inf(1), false
+}
+
+// BoundedCosts runs Dijkstra from s under weight w, stopping once all
+// remaining queue entries exceed bound, and returns the cost of every
+// vertex settled within the bound. Map matching uses it to compute
+// network distances between nearby candidate points without exploring
+// the whole graph.
+func (e *Engine) BoundedCosts(s roadnet.VertexID, w roadnet.Weight, bound float64) map[roadnet.VertexID]float64 {
+	e.reset()
+	e.see(s, 0, roadnet.NoEdge)
+	out := make(map[roadnet.VertexID]float64)
+	for e.heap.Len() > 0 {
+		ui, du := e.heap.Pop()
+		if du > bound {
+			break
+		}
+		u := roadnet.VertexID(ui)
+		e.settled[u] = e.epoch
+		e.PopCount++
+		out[u] = du
+		e.relax(u, du, w, nil)
+	}
+	return out
+}
+
+// WeightedRoute returns the minimum-cost path under a linear combination
+// of the three scalar weights: cost(e) = a·DI + b·TT + c·FC. The Dom
+// baseline uses it after learning per-driver coefficients.
+func (e *Engine) WeightedRoute(s, d roadnet.VertexID, a, b, c float64) (roadnet.Path, float64, bool) {
+	return e.CustomRoute(s, d, func(eid roadnet.EdgeID) float64 {
+		ed := e.g.Edge(eid)
+		return a*ed.Length + b*ed.TravelTime + c*ed.Fuel
+	})
+}
+
+// CustomRoute runs Dijkstra with an arbitrary non-negative edge cost
+// function.
+func (e *Engine) CustomRoute(s, d roadnet.VertexID, cost func(roadnet.EdgeID) float64) (roadnet.Path, float64, bool) {
+	e.reset()
+	e.see(s, 0, roadnet.NoEdge)
+	for e.heap.Len() > 0 {
+		ui, du := e.heap.Pop()
+		u := roadnet.VertexID(ui)
+		e.settled[u] = e.epoch
+		e.PopCount++
+		if u == d {
+			return e.extractPath(d), du, true
+		}
+		for _, eid := range e.g.Out(u) {
+			ed := e.g.Edge(eid)
+			alt := du + cost(eid)
+			if e.settled[ed.To] != e.epoch && alt < e.distOf(ed.To) {
+				e.see(ed.To, alt, eid)
+			}
+		}
+	}
+	return nil, math.Inf(1), false
+}

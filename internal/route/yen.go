@@ -1,0 +1,163 @@
+package route
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/container"
+	"repro/internal/roadnet"
+)
+
+// KShortest returns up to k loopless shortest paths from s to d under
+// weight w, in ascending cost order, using Yen's algorithm. The paper's
+// related work includes top-k path queries (reference [8]); here they
+// provide cost-ordered diverse alternatives for the recommendation
+// list. Fewer than k paths are returned when the graph does not contain
+// them.
+func (e *Engine) KShortest(s, d roadnet.VertexID, k int, w roadnet.Weight) []roadnet.Path {
+	if k <= 0 {
+		return nil
+	}
+	best, _, ok := e.Route(s, d, w)
+	if !ok {
+		return nil
+	}
+	paths := []roadnet.Path{best}
+	costs := []float64{best.Cost(e.g, w)}
+
+	type cand struct {
+		p roadnet.Path
+		c float64
+	}
+	var pool []cand
+	haveCand := func(p roadnet.Path) bool {
+		for _, c := range pool {
+			if samePathYen(c.p, p) {
+				return true
+			}
+		}
+		return false
+	}
+	havePath := func(p roadnet.Path) bool {
+		for _, q := range paths {
+			if samePathYen(q, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Each prefix of the previous path spawns a spur search that
+		// must deviate from every accepted path sharing that prefix.
+		for i := 0; i < len(prev)-1; i++ {
+			spur := prev[i]
+			rootPath := prev[:i+1]
+
+			banned := make(map[roadnet.EdgeID]bool)
+			for _, p := range paths {
+				if len(p) > i && samePathYen(p[:i+1], rootPath) && len(p) > i+1 {
+					if id := e.g.FindEdge(p[i], p[i+1]); id != roadnet.NoEdge {
+						banned[id] = true
+					}
+				}
+			}
+			// Root vertices (except the spur) may not be revisited —
+			// keeps the result loopless.
+			bannedV := make(map[roadnet.VertexID]bool)
+			for _, v := range rootPath[:i] {
+				bannedV[v] = true
+			}
+
+			spurPath, _, ok := e.restrictedRoute(spur, d, w, banned, bannedV)
+			if !ok {
+				continue
+			}
+			total := append(append(roadnet.Path{}, rootPath...), spurPath[1:]...)
+			if havePath(total) || haveCand(total) {
+				continue
+			}
+			pool = append(pool, cand{p: total, c: total.Cost(e.g, w)})
+		}
+		if len(pool) == 0 {
+			break
+		}
+		sort.SliceStable(pool, func(a, b int) bool { return pool[a].c < pool[b].c })
+		paths = append(paths, pool[0].p)
+		costs = append(costs, pool[0].c)
+		pool = pool[1:]
+	}
+	_ = costs
+	return paths
+}
+
+// restrictedRoute is Dijkstra with banned edges and banned vertices.
+func (e *Engine) restrictedRoute(s, d roadnet.VertexID, w roadnet.Weight, bannedE map[roadnet.EdgeID]bool, bannedV map[roadnet.VertexID]bool) (roadnet.Path, float64, bool) {
+	if bannedV[s] || bannedV[d] {
+		return nil, 0, false
+	}
+	n := e.g.NumVertices()
+	dist := make([]float64, n)
+	par := make([]roadnet.EdgeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		par[i] = roadnet.NoEdge
+	}
+	pq := container.NewIndexedMinHeap(n)
+	dist[s] = 0
+	pq.Push(int(s), 0)
+	for pq.Len() > 0 {
+		v, dv := pq.Pop()
+		if roadnet.VertexID(v) == d {
+			break
+		}
+		if dv > dist[v] {
+			continue
+		}
+		for _, id := range e.g.Out(roadnet.VertexID(v)) {
+			if bannedE[id] {
+				continue
+			}
+			ed := e.g.Edge(id)
+			if bannedV[ed.To] {
+				continue
+			}
+			nd := dv + e.g.EdgeWeight(id, w)
+			if nd < dist[ed.To] {
+				dist[ed.To] = nd
+				par[ed.To] = id
+				pq.Push(int(ed.To), nd)
+			}
+		}
+	}
+	if math.IsInf(dist[d], 1) {
+		return nil, 0, false
+	}
+	var rev roadnet.Path
+	for v := d; ; {
+		rev = append(rev, v)
+		id := par[v]
+		if id == roadnet.NoEdge {
+			break
+		}
+		v = e.g.Edge(id).From
+	}
+	p := make(roadnet.Path, len(rev))
+	for i, v := range rev {
+		p[len(rev)-1-i] = v
+	}
+	return p, dist[d], true
+}
+
+func samePathYen(a, b roadnet.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// yenDiamond builds a graph with several parallel routes 0 -> 5.
+func yenDiamond(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	b := roadnet.NewBuilder()
+	pts := []geo.Point{
+		{X: 0, Y: 100}, {X: 100, Y: 0}, {X: 100, Y: 100}, {X: 100, Y: 200},
+		{X: 200, Y: 100}, {X: 300, Y: 100},
+	}
+	for _, p := range pts {
+		b.AddVertex(p)
+	}
+	// One-way edges so reverse queries are genuinely unreachable.
+	for _, e := range [][2]roadnet.VertexID{
+		{0, 1}, {0, 2}, {0, 3}, {1, 4}, {2, 4}, {3, 4}, {4, 5},
+	} {
+		b.AddEdge(e[0], e[1], roadnet.Residential)
+	}
+	return b.Build()
+}
+
+func TestKShortestOrderingAndDistinctness(t *testing.T) {
+	g := yenDiamond(t)
+	eng := NewEngine(g)
+	paths := eng.KShortest(0, 5, 3, roadnet.DI)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	prev := -1.0
+	seen := map[string]bool{}
+	for i, p := range paths {
+		if !p.Valid(g) || p[0] != 0 || p[len(p)-1] != 5 {
+			t.Fatalf("path %d invalid: %v", i, p)
+		}
+		c := p.Cost(g, roadnet.DI)
+		if c < prev-1e-9 {
+			t.Fatalf("paths not cost-ordered: %g after %g", c, prev)
+		}
+		prev = c
+		key := ""
+		for _, v := range p {
+			key += string(rune(v)) + ","
+		}
+		if seen[key] {
+			t.Fatalf("duplicate path %v", p)
+		}
+		seen[key] = true
+	}
+}
+
+func TestKShortestFirstEqualsDijkstra(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(95))
+	eng := NewEngine(g)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		s := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		d := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		if s == d {
+			continue
+		}
+		want, wcost, ok := eng.Route(s, d, roadnet.TT)
+		ks := eng.KShortest(s, d, 2, roadnet.TT)
+		if !ok {
+			if len(ks) != 0 {
+				t.Fatalf("unreachable pair returned %d paths", len(ks))
+			}
+			continue
+		}
+		if len(ks) == 0 {
+			t.Fatalf("reachable pair (%d,%d) returned no paths", s, d)
+		}
+		if math.Abs(ks[0].Cost(g, roadnet.TT)-wcost) > 1e-9*(1+wcost) {
+			t.Fatalf("first k-path cost %g != dijkstra %g", ks[0].Cost(g, roadnet.TT), wcost)
+		}
+		_ = want
+	}
+}
+
+func TestKShortestLoopless(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(97))
+	eng := NewEngine(g)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		s := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		d := roadnet.VertexID(rng.Intn(g.NumVertices()))
+		for _, p := range eng.KShortest(s, d, 4, roadnet.DI) {
+			visited := map[roadnet.VertexID]bool{}
+			for _, v := range p {
+				if visited[v] {
+					t.Fatalf("path has a loop at %d: %v", v, p)
+				}
+				visited[v] = true
+			}
+		}
+	}
+}
+
+func TestKShortestDegenerate(t *testing.T) {
+	g := yenDiamond(t)
+	eng := NewEngine(g)
+	if ps := eng.KShortest(0, 5, 0, roadnet.DI); ps != nil {
+		t.Fatal("k=0 returned paths")
+	}
+	// More paths requested than exist: diamond has exactly 3 routes.
+	ps := eng.KShortest(0, 5, 10, roadnet.DI)
+	if len(ps) != 3 {
+		t.Fatalf("got %d paths, want all 3 available", len(ps))
+	}
+	// Unreachable.
+	if ps := eng.KShortest(5, 0, 2, roadnet.DI); len(ps) != 0 {
+		t.Fatalf("reverse direction should be unreachable on one-way diamond, got %d", len(ps))
+	}
+}

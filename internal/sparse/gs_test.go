@@ -1,0 +1,120 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diagDominant builds a random symmetric strictly diagonally dominant
+// matrix like the (S + µ1·L + µ2·I) systems of Eq. 3.
+func diagDominant(rng *rand.Rand, n int) *Matrix {
+	var coords []Coord
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.Float64() - 0.5
+			coords = append(coords, Coord{Row: i, Col: j, Val: v}, Coord{Row: j, Col: i, Val: v})
+			rowAbs[i] += math.Abs(v)
+			rowAbs[j] += math.Abs(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		coords = append(coords, Coord{Row: i, Col: i, Val: rowAbs[i] + 1})
+	}
+	return New(n, coords)
+}
+
+func TestGaussSeidelSolvesDominantSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(40)
+		a := diagDominant(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, want)
+		x := make([]float64, n)
+		res := GaussSeidel(a, x, b, 1e-12, 10_000)
+		if !res.Converged {
+			t.Fatalf("trial %d: did not converge (residual %g)", trial, res.Residual)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSolversAgree property-tests that CG, Jacobi and Gauss–Seidel all
+// converge to the same solution on random SPD dominant systems.
+func TestSolversAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		a := diagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		solve := func(fn func(*Matrix, []float64, []float64, float64, int) SolveResult) []float64 {
+			x := make([]float64, n)
+			fn(a, x, b, 1e-12, 20_000)
+			return x
+		}
+		xcg := solve(CG)
+		xj := solve(Jacobi)
+		xgs := solve(GaussSeidel)
+		for i := 0; i < n; i++ {
+			if math.Abs(xcg[i]-xj[i]) > 1e-5 || math.Abs(xcg[i]-xgs[i]) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGaussSeidelFasterThanJacobi documents the expected iteration
+// advantage on a representative Laplacian system.
+func TestGaussSeidelFewerIterationsThanJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := diagDominant(rng, 60)
+	b := make([]float64, 60)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	xj := make([]float64, 60)
+	xg := make([]float64, 60)
+	rj := Jacobi(a, xj, b, 1e-10, 50_000)
+	rg := GaussSeidel(a, xg, b, 1e-10, 50_000)
+	if !rj.Converged || !rg.Converged {
+		t.Fatal("solver failed to converge")
+	}
+	if rg.Iterations > rj.Iterations {
+		t.Fatalf("Gauss-Seidel took %d iterations, Jacobi %d; expected GS <= Jacobi", rg.Iterations, rj.Iterations)
+	}
+}
+
+func TestGaussSeidelSingularRowLeftUntouched(t *testing.T) {
+	// Row 1 is all zero: x[1] must keep its initial guess.
+	a := New(2, []Coord{{Row: 0, Col: 0, Val: 2}})
+	x := []float64{0, 7}
+	GaussSeidel(a, x, []float64{4, 0}, 1e-12, 100)
+	if math.Abs(x[0]-2) > 1e-9 {
+		t.Fatalf("x[0] = %g, want 2", x[0])
+	}
+	if x[1] != 7 {
+		t.Fatalf("x[1] = %g, want untouched 7", x[1])
+	}
+}

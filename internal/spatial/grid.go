@@ -1,0 +1,191 @@
+// Package spatial provides a uniform grid index over road-network
+// vertices and edges. Map matching queries it for candidate edges near a
+// GPS record; the routing layer queries it for the vertex nearest an
+// arbitrary coordinate.
+package spatial
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// Index is a uniform grid over the bounding box of a road network.
+type Index struct {
+	g      *roadnet.Graph
+	bounds geo.Rect
+	cell   float64
+	nx, ny int
+
+	vcells [][]roadnet.VertexID
+	ecells [][]roadnet.EdgeID
+}
+
+// NewIndex builds a grid index with the given cell size in meters.
+// Cell sizes around 250–500 m work well for the synthetic maps.
+func NewIndex(g *roadnet.Graph, cellM float64) *Index {
+	b := g.Bounds().Expand(cellM)
+	nx := int(math.Ceil(b.Width()/cellM)) + 1
+	ny := int(math.Ceil(b.Height()/cellM)) + 1
+	idx := &Index{
+		g: g, bounds: b, cell: cellM, nx: nx, ny: ny,
+		vcells: make([][]roadnet.VertexID, nx*ny),
+		ecells: make([][]roadnet.EdgeID, nx*ny),
+	}
+	for v := roadnet.VertexID(0); int(v) < g.NumVertices(); v++ {
+		c := idx.cellOf(g.Point(v))
+		idx.vcells[c] = append(idx.vcells[c], v)
+	}
+	for e := roadnet.EdgeID(0); int(e) < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		// Register the edge in every cell its segment passes near by
+		// walking the covering cells of its bounding box; edges are
+		// short relative to cells so this stays cheap.
+		a, bb := g.Point(ed.From), g.Point(ed.To)
+		r := geo.NewRect(a, bb)
+		idx.eachCell(r, func(c int) {
+			idx.ecells[c] = append(idx.ecells[c], e)
+		})
+	}
+	return idx
+}
+
+func (idx *Index) cellCoords(p geo.Point) (int, int) {
+	cx := int((p.X - idx.bounds.Min.X) / idx.cell)
+	cy := int((p.Y - idx.bounds.Min.Y) / idx.cell)
+	cx = clamp(cx, 0, idx.nx-1)
+	cy = clamp(cy, 0, idx.ny-1)
+	return cx, cy
+}
+
+func (idx *Index) cellOf(p geo.Point) int {
+	cx, cy := idx.cellCoords(p)
+	return cy*idx.nx + cx
+}
+
+func (idx *Index) eachCell(r geo.Rect, f func(c int)) {
+	x0, y0 := idx.cellCoords(r.Min)
+	x1, y1 := idx.cellCoords(r.Max)
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			f(cy*idx.nx + cx)
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NearestVertex returns the vertex closest to p, searching outward ring
+// by ring. It returns roadnet.NoVertex only for an empty graph.
+func (idx *Index) NearestVertex(p geo.Point) roadnet.VertexID {
+	best := roadnet.NoVertex
+	bestD := math.Inf(1)
+	cx, cy := idx.cellCoords(p)
+	maxR := idx.nx + idx.ny
+	for r := 0; r <= maxR; r++ {
+		found := false
+		idx.ring(cx, cy, r, func(c int) {
+			for _, v := range idx.vcells[c] {
+				found = true
+				if d := idx.g.Point(v).Dist(p); d < bestD {
+					best, bestD = v, d
+				}
+			}
+		})
+		// Once something is found, one extra ring guarantees correctness
+		// (a nearer vertex can sit in the next ring at most).
+		if found && best != roadnet.NoVertex && bestD <= float64(r)*idx.cell {
+			break
+		}
+		_ = found
+	}
+	return best
+}
+
+// ring visits the cells at Chebyshev distance r from (cx, cy).
+func (idx *Index) ring(cx, cy, r int, f func(c int)) {
+	if r == 0 {
+		if cx >= 0 && cx < idx.nx && cy >= 0 && cy < idx.ny {
+			f(cy*idx.nx + cx)
+		}
+		return
+	}
+	for dx := -r; dx <= r; dx++ {
+		for _, dy := range [...]int{-r, r} {
+			x, y := cx+dx, cy+dy
+			if x >= 0 && x < idx.nx && y >= 0 && y < idx.ny {
+				f(y*idx.nx + x)
+			}
+		}
+	}
+	for dy := -r + 1; dy <= r-1; dy++ {
+		for _, dx := range [...]int{-r, r} {
+			x, y := cx+dx, cy+dy
+			if x >= 0 && x < idx.nx && y >= 0 && y < idx.ny {
+				f(y*idx.nx + x)
+			}
+		}
+	}
+}
+
+// EdgeCandidate is an edge near a query point.
+type EdgeCandidate struct {
+	Edge roadnet.EdgeID
+	// Dist is the distance from the query point to the edge segment.
+	Dist float64
+	// Proj is the closest point on the segment.
+	Proj geo.Point
+	// Frac is the normalized position of Proj along the edge.
+	Frac float64
+}
+
+// EdgesWithin returns candidate edges whose segments pass within radius
+// meters of p, sorted by ascending distance. Each undirected road
+// contributes its directed edges separately; map matching wants that,
+// since direction matters for transitions.
+func (idx *Index) EdgesWithin(p geo.Point, radius float64) []EdgeCandidate {
+	r := geo.NewRect(
+		geo.Pt(p.X-radius, p.Y-radius),
+		geo.Pt(p.X+radius, p.Y+radius),
+	)
+	seen := make(map[roadnet.EdgeID]bool)
+	var out []EdgeCandidate
+	idx.eachCell(r, func(c int) {
+		for _, e := range idx.ecells[c] {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			ed := idx.g.Edge(e)
+			seg := geo.Segment{A: idx.g.Point(ed.From), B: idx.g.Point(ed.To)}
+			proj, frac := seg.Project(p)
+			d := p.Dist(proj)
+			if d <= radius {
+				out = append(out, EdgeCandidate{Edge: e, Dist: d, Proj: proj, Frac: frac})
+			}
+		}
+	})
+	sortCandidates(out)
+	return out
+}
+
+func sortCandidates(cs []EdgeCandidate) {
+	// Insertion sort: candidate lists are short (tens of entries).
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Dist < cs[j-1].Dist; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// CellSize returns the grid cell edge length in meters.
+func (idx *Index) CellSize() float64 { return idx.cell }

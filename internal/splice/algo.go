@@ -1,0 +1,39 @@
+package splice
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// MPR adapts the most-popular-route splicer to the evaluation harness's
+// Algorithm interface. Queries it cannot serve (Case 3) return a nil
+// path, which the harness scores as zero similarity — matching the
+// paper's observation that splicing methods "no longer work" there.
+type MPR struct {
+	tg *TransitionGraph
+}
+
+// NewMPR builds the splicing baseline from training trajectories.
+func NewMPR(g *roadnet.Graph, training []*traj.Trajectory) *MPR {
+	paths := make([]roadnet.Path, 0, len(training))
+	for _, t := range training {
+		paths = append(paths, t.Truth)
+	}
+	return &MPR{tg: NewTransitionGraph(g, paths)}
+}
+
+// Name implements baseline.Algorithm.
+func (m *MPR) Name() string { return "MPR" }
+
+// Route implements baseline.Algorithm.
+func (m *MPR) Route(q baseline.Query) roadnet.Path {
+	p, ok := m.tg.Route(q.S, q.D)
+	if !ok {
+		return nil
+	}
+	return p
+}
+
+// Graph exposes the underlying transfer network (for coverage stats).
+func (m *MPR) Graph() *TransitionGraph { return m.tg }

@@ -1,0 +1,53 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTrajTSVRoundTrip(t *testing.T) {
+	g := tinyNet()
+	ts := smallSim(g, 25).Run()
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("count %d != %d", len(got), len(ts))
+	}
+	for i := range ts {
+		a, b := ts[i], got[i]
+		if a.ID != b.ID || a.Driver != b.Driver || a.Peak != b.Peak {
+			t.Fatalf("trip %d metadata mismatch", i)
+		}
+		if len(a.Records) != len(b.Records) {
+			t.Fatalf("trip %d record count mismatch", i)
+		}
+		for j := range a.Records {
+			if a.Records[j].P.Dist(b.Records[j].P) > 0.01 {
+				t.Fatalf("trip %d record %d moved", i, j)
+			}
+		}
+	}
+}
+
+func TestTrajReadTSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"record outside":  "R\t1\t2\t3\n",
+		"short T":         "T\t0\t1\n",
+		"short R":         "T\t0\t1\t0\tfalse\t1\nR\t1\t2\n",
+		"missing records": "T\t0\t1\t0\tfalse\t3\nR\t1\t2\t3\n",
+		"bad bool":        "T\t0\t1\t0\tmaybe\t0\n",
+		"unknown":         "Q\t0\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadTSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

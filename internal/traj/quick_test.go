@@ -1,0 +1,127 @@
+package traj
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/roadnet"
+)
+
+// TestQuickSimulatorDeterminism: identical seeds produce identical
+// trajectory sets; different seeds produce different ones.
+func TestQuickSimulatorDeterminism(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(81))
+	f := func(seed int64) bool {
+		cfg := D2Like(seed, 40)
+		a := NewSimulator(g, cfg).Run()
+		b := NewSimulator(g, cfg).Run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Driver != b[i].Driver || a[i].Depart != b[i].Depart {
+				return false
+			}
+			if len(a[i].Truth) != len(b[i].Truth) {
+				return false
+			}
+			for j := range a[i].Truth {
+				if a[i].Truth[j] != b[i].Truth[j] {
+					return false
+				}
+			}
+			if len(a[i].Records) != len(b[i].Records) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitPartition: Split returns a partition ordered by the
+// cutoff — every train trip departs before it, every test trip at or
+// after it, and nothing is lost.
+func TestQuickSplitPartition(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(83))
+	ts := NewSimulator(g, D2Like(83, 120)).Run()
+	f := func(frac uint8) bool {
+		cutoff := float64(frac) / 255 * 86_400 * 28
+		train, test := Split(ts, cutoff)
+		if len(train)+len(test) != len(ts) {
+			return false
+		}
+		for _, tr := range train {
+			if tr.Depart >= cutoff {
+				return false
+			}
+		}
+		for _, tr := range test {
+			if tr.Depart < cutoff {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHistogramConservation: every trajectory lands in exactly one
+// bucket (or none if beyond the last bound), so bucket counts never
+// exceed the total.
+func TestQuickHistogramConservation(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(85))
+	ts := NewSimulator(g, D2Like(85, 150)).Run()
+	f := func(b1, b2, b3 uint8) bool {
+		bounds := []float64{
+			0.5 + float64(b1%20), // ascending, strictly positive
+		}
+		bounds = append(bounds, bounds[0]+1+float64(b2%20))
+		bounds = append(bounds, bounds[1]+1+float64(b3%20))
+		h := DistanceHistogram(g, ts, bounds)
+		if len(h) != len(bounds) {
+			return false
+		}
+		sum := 0
+		for _, b := range h {
+			if b.Count < 0 {
+				return false
+			}
+			sum += b.Count
+		}
+		return sum <= len(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrajectoryInvariants: simulated trajectories have connected truth
+// paths, time-ordered GPS records and positive durations.
+func TestTrajectoryInvariants(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(87))
+	ts := NewSimulator(g, D1Like(87, 60)).Run()
+	if len(ts) == 0 {
+		t.Fatal("simulator produced nothing")
+	}
+	for i, tr := range ts {
+		if !tr.Truth.Valid(g) {
+			t.Fatalf("trajectory %d: disconnected truth path", i)
+		}
+		if tr.Source() == tr.Destination() && len(tr.Truth) > 1 {
+			t.Fatalf("trajectory %d: loop trip", i)
+		}
+		for j := 1; j < len(tr.Records); j++ {
+			if tr.Records[j].T < tr.Records[j-1].T {
+				t.Fatalf("trajectory %d: GPS records out of order", i)
+			}
+		}
+		if tr.Duration() < 0 {
+			t.Fatalf("trajectory %d: negative duration", i)
+		}
+	}
+}

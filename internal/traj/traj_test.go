@@ -1,0 +1,226 @@
+package traj
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+func tinyNet() *roadnet.Graph { return roadnet.Generate(roadnet.Tiny(21)) }
+
+func smallSim(g *roadnet.Graph, trips int) *Simulator {
+	cfg := D2Like(33, trips)
+	cfg.Trips = trips
+	return NewSimulator(g, cfg)
+}
+
+func TestSimulatorProducesTrips(t *testing.T) {
+	g := tinyNet()
+	ts := smallSim(g, 80).Run()
+	if len(ts) < 60 {
+		t.Fatalf("only %d of 80 trips generated", len(ts))
+	}
+	for _, tr := range ts {
+		if len(tr.Truth) < 2 {
+			t.Fatal("trajectory with degenerate path")
+		}
+		if !tr.Truth.Valid(g) {
+			t.Fatalf("invalid ground-truth path %v", tr.Truth)
+		}
+		if len(tr.Records) < 2 {
+			t.Fatal("trajectory with too few GPS records")
+		}
+		for i := 1; i < len(tr.Records); i++ {
+			if tr.Records[i].T <= tr.Records[i-1].T {
+				t.Fatal("GPS records not strictly time-ordered")
+			}
+		}
+		if tr.Records[0].T != tr.Depart {
+			t.Fatal("first record not at departure time")
+		}
+	}
+}
+
+func TestSimulatorDeterministic(t *testing.T) {
+	g := tinyNet()
+	a := smallSim(g, 40).Run()
+	b := smallSim(g, 40).Run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Truth) != len(b[i].Truth) || a[i].Driver != b[i].Driver {
+			t.Fatalf("trip %d differs across identical runs", i)
+		}
+		for j := range a[i].Truth {
+			if a[i].Truth[j] != b[i].Truth[j] {
+				t.Fatalf("trip %d path differs", i)
+			}
+		}
+	}
+}
+
+func TestGPSNoiseIsBounded(t *testing.T) {
+	g := tinyNet()
+	sim := smallSim(g, 30)
+	for _, tr := range sim.Run() {
+		pl := tr.Truth.Polyline(g)
+		for _, rec := range tr.Records {
+			// Records should be near the path: 6 sigma of 12 m noise.
+			best := math.Inf(1)
+			for i := 1; i < len(pl); i++ {
+				seg := geo.Segment{A: pl[i-1], B: pl[i]}
+				if d := seg.DistToPoint(rec.P); d < best {
+					best = d
+				}
+			}
+			if best > 6*12+1 {
+				t.Fatalf("GPS record %v is %.1f m from path", rec.P, best)
+			}
+		}
+	}
+}
+
+func TestLatentPreferenceDeterministicAndZoned(t *testing.T) {
+	g := tinyNet()
+	sim := smallSim(g, 1)
+	p1 := g.Point(0)
+	p2 := g.Point(roadnet.VertexID(g.NumVertices() - 1))
+	a := sim.LatentPreference(p1, p2)
+	b := sim.LatentPreference(p1, p2)
+	if a != b {
+		t.Fatal("latent preference not deterministic")
+	}
+	// Same zone pair, nearby points: same preference.
+	p1b := p1
+	p1b.X += 1
+	if c := sim.LatentPreference(p1b, p2); c != a {
+		t.Fatal("nearby points changed zone preference")
+	}
+}
+
+func TestSpeedFactorBounds(t *testing.T) {
+	g := tinyNet()
+	sim := smallSim(g, 1)
+	for d := 0; d < 50; d++ {
+		for rt := roadnet.RoadType(0); rt < roadnet.NumRoadTypes; rt++ {
+			f := sim.SpeedFactor(d, rt)
+			if f < 0.93 || f > 1.07 {
+				t.Fatalf("factor %v out of range", f)
+			}
+			if f != sim.SpeedFactor(d, rt) {
+				t.Fatal("factor not deterministic")
+			}
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ts := []*Trajectory{
+		{Depart: 10}, {Depart: 20}, {Depart: 30}, {Depart: 40},
+	}
+	train, test := Split(ts, 25)
+	if len(train) != 2 || len(test) != 2 {
+		t.Fatalf("split sizes = %d/%d", len(train), len(test))
+	}
+	if train[0].Depart != 10 || test[0].Depart != 30 {
+		t.Fatal("split assignment wrong")
+	}
+}
+
+func TestDistanceHistogram(t *testing.T) {
+	g := tinyNet()
+	ts := smallSim(g, 60).Run()
+	buckets := DistanceHistogram(g, ts, []float64{1, 3, 8, 100})
+	total := 0
+	var pct float64
+	for _, b := range buckets {
+		total += b.Count
+		pct += b.Percent
+		if b.Count < 0 {
+			t.Fatal("negative count")
+		}
+	}
+	if total != len(ts) {
+		t.Fatalf("histogram total %d != %d trips", total, len(ts))
+	}
+	if math.Abs(pct-100) > 1e-6 {
+		t.Fatalf("percentages sum to %v", pct)
+	}
+	if lbl := buckets[0].Label(); lbl != "(0,1]" {
+		t.Errorf("label = %q", lbl)
+	}
+}
+
+func TestHistogramOverflowGoesToLastBucket(t *testing.T) {
+	g := roadnet.GenerateGrid(2, 2, 50_000, roadnet.Primary) // 50 km edges
+	tr := &Trajectory{Truth: roadnet.Path{0, 1}}
+	buckets := DistanceHistogram(g, []*Trajectory{tr}, []float64{1, 2})
+	if buckets[1].Count != 1 {
+		t.Fatalf("overflow not in last bucket: %+v", buckets)
+	}
+}
+
+func TestMeanDistanceKm(t *testing.T) {
+	g := roadnet.GenerateGrid(3, 1, 1000, roadnet.Primary)
+	ts := []*Trajectory{
+		{Truth: roadnet.Path{0, 1}},    // 1 km
+		{Truth: roadnet.Path{0, 1, 2}}, // 2 km
+	}
+	if m := MeanDistanceKm(g, ts); math.Abs(m-1.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if MeanDistanceKm(g, nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestTrajectoryAccessors(t *testing.T) {
+	tr := &Trajectory{
+		Truth:   roadnet.Path{4, 5, 6},
+		Records: []GPS{{T: 100}, {T: 160}},
+	}
+	if tr.Source() != 4 || tr.Destination() != 6 {
+		t.Fatal("endpoints wrong")
+	}
+	if tr.Duration() != 60 {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	if len(tr.Path()) != 3 {
+		t.Fatal("Path should fall back to Truth")
+	}
+	tr.Matched = roadnet.Path{4, 7, 6}
+	if tr.Path()[1] != 7 {
+		t.Fatal("Path should prefer Matched")
+	}
+}
+
+func TestEndpointSkew(t *testing.T) {
+	// Hub-based sampling must concentrate endpoints: the most common
+	// source vertex should appear far more often than under uniform
+	// sampling.
+	g := tinyNet()
+	ts := smallSim(g, 300).Run()
+	counts := map[roadnet.VertexID]int{}
+	for _, tr := range ts {
+		counts[tr.Source()]++
+	}
+	// Concentration check: the 20 most popular source vertices must
+	// carry far more than their uniform share of trips.
+	var all []int
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top := 0
+	for i := 0; i < 20 && i < len(all); i++ {
+		top += all[i]
+	}
+	uniformShare := float64(len(ts)) * 20 / float64(g.NumVertices())
+	if float64(top) < 2*uniformShare {
+		t.Fatalf("top-20 sources carry %d trips, uniform share %.1f — no skew", top, uniformShare)
+	}
+}

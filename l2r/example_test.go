@@ -1,0 +1,79 @@
+package l2r_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+	"repro/l2r"
+)
+
+// Example demonstrates the minimal build-and-route flow.
+func Example() {
+	road := roadnet.Generate(roadnet.Tiny(1))
+	cfg := traj.D2Like(1, 400)
+	trips := traj.NewSimulator(road, cfg).Run()
+	train, test := traj.Split(trips, 0.75*cfg.HorizonSec)
+
+	router, err := l2r.Build(road, train, l2r.Options{SkipMapMatching: true})
+	if err != nil {
+		fmt.Println("build failed:", err)
+		return
+	}
+	q := test[0]
+	res := router.Route(q.Source(), q.Destination())
+	fmt.Println("built:", router.Stats().Regions > 0)
+	fmt.Println("answered:", len(res.Path) > 0)
+	fmt.Println("path connected:", res.Path.Valid(road))
+	// Output:
+	// built: true
+	// answered: true
+	// path connected: true
+}
+
+// ExampleRouter_Save demonstrates artifact persistence round trips.
+func ExampleRouter_Save() {
+	road := roadnet.Generate(roadnet.Tiny(2))
+	cfg := traj.D2Like(2, 300)
+	trips := traj.NewSimulator(road, cfg).Run()
+
+	router, err := l2r.Build(road, trips, l2r.Options{SkipMapMatching: true})
+	if err != nil {
+		fmt.Println("build failed:", err)
+		return
+	}
+	var artifact bytes.Buffer
+	if err := router.Save(&artifact); err != nil {
+		fmt.Println("save failed:", err)
+		return
+	}
+	loaded, err := l2r.Load(&artifact)
+	if err != nil {
+		fmt.Println("load failed:", err)
+		return
+	}
+	fmt.Println("same regions:", loaded.Stats().Regions == router.Stats().Regions)
+	// Output:
+	// same regions: true
+}
+
+// ExampleRouter_Ingest demonstrates incremental updates.
+func ExampleRouter_Ingest() {
+	road := roadnet.Generate(roadnet.Tiny(3))
+	cfg := traj.D2Like(3, 400)
+	trips := traj.NewSimulator(road, cfg).Run()
+	boot, fresh := trips[:300], trips[300:]
+
+	router, err := l2r.Build(road, boot, l2r.Options{SkipMapMatching: true})
+	if err != nil {
+		fmt.Println("build failed:", err)
+		return
+	}
+	st := router.Ingest(fresh, l2r.IngestOptions{SkipMapMatching: true})
+	fmt.Println("ingested all:", st.Paths == len(fresh))
+	fmt.Println("staleness in range:", st.StalenessRatio() >= 0 && st.StalenessRatio() <= 1)
+	// Output:
+	// ingested all: true
+	// staleness in range: true
+}

@@ -1,0 +1,150 @@
+// Package l2r is the public API of learn2route, a reproduction of
+// "Learning to Route with Sparse Trajectory Sets" (Guo, Yang, Hu,
+// Jensen — IEEE ICDE 2018). It builds a trajectory-based router in three
+// steps: (1) modularity-based clustering of road intersections into
+// regions and construction of a region graph from trajectories; (2)
+// learning of routing preferences on trajectory-covered region edges and
+// transduction-based transfer of those preferences to uncovered edges;
+// (3) unified routing between arbitrary (source, destination) pairs.
+//
+// Quick start:
+//
+//	road := roadnet.Generate(roadnet.N2Like(1))
+//	sim := traj.NewSimulator(road, traj.D2Like(1, 3000))
+//	trips := sim.Run()
+//	train, test := traj.Split(trips, 21*86_400)
+//	router, err := l2r.Build(road, train, l2r.Options{})
+//	if err != nil { ... }
+//	res := router.Route(test[0].Source(), test[0].Destination())
+//	fmt.Println(res.Path)
+package l2r
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Re-exported core types. See the internal/core package for full
+// documentation of each.
+type (
+	// Options configures the offline build pipeline.
+	Options = core.Options
+	// Stats reports offline pipeline measurements (phase timings,
+	// region/edge counts).
+	Stats = core.Stats
+	// Router answers routing queries over a built L2R system.
+	Router = core.Router
+	// RouteResult is the outcome of a single query.
+	RouteResult = core.RouteResult
+	// Category classifies queries by endpoint region membership.
+	Category = core.Category
+)
+
+// Query categories, mirroring the paper's evaluation breakdown.
+const (
+	InRegion    = core.InRegion
+	InOutRegion = core.InOutRegion
+	OutRegion   = core.OutRegion
+)
+
+// Build runs the offline pipeline — map matching, clustering, region
+// graph, preference learning, preference transfer, B-edge path
+// materialization — over a road network and training trajectories.
+func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Router, error) {
+	return core.Build(road, training, opt)
+}
+
+// TimeAware couples a peak and an off-peak router, built from the
+// corresponding slices of the training data, as in the paper's handling
+// of time-dependent traffic (Section III, scope item 1). Depending on
+// the departure period, one of the two routers answers.
+type TimeAware struct {
+	Peak    *Router
+	OffPeak *Router
+}
+
+// BuildTimeAware splits the training trajectories by their Peak flag and
+// builds one router per period. Either period may end up with too few
+// trajectories to build; in that case the other period's router is used
+// for both.
+func BuildTimeAware(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*TimeAware, error) {
+	var peak, off []*traj.Trajectory
+	for _, t := range training {
+		if t.Peak {
+			peak = append(peak, t)
+		} else {
+			off = append(off, t)
+		}
+	}
+	ta := &TimeAware{}
+	var err error
+	if len(peak) > 0 {
+		ta.Peak, err = core.Build(road, peak, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(off) > 0 {
+		ta.OffPeak, err = core.Build(road, off, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ta.Peak == nil {
+		ta.Peak = ta.OffPeak
+	}
+	if ta.OffPeak == nil {
+		ta.OffPeak = ta.Peak
+	}
+	if ta.Peak == nil {
+		return nil, errNoData
+	}
+	return ta, nil
+}
+
+// Route answers a query using the router for the departure period.
+func (ta *TimeAware) Route(s, d roadnet.VertexID, peak bool) RouteResult {
+	if peak {
+		return ta.Peak.Route(s, d)
+	}
+	return ta.OffPeak.Route(s, d)
+}
+
+type buildError string
+
+func (e buildError) Error() string { return string(e) }
+
+const errNoData = buildError("l2r: no training trajectories in either period")
+
+// BuildPersonalized builds a router from a single driver's trajectories
+// only, adapting L2R to personalized routing as sketched in the paper's
+// scope discussion (Section III, scope item 2). One driver's data is far
+// sparser than the fleet's, so more region pairs rely on transferred
+// preferences; the returned router is otherwise a regular Router.
+func BuildPersonalized(road *roadnet.Graph, training []*traj.Trajectory, driver int, opt Options) (*Router, error) {
+	var own []*traj.Trajectory
+	for _, t := range training {
+		if t.Driver == driver {
+			own = append(own, t)
+		}
+	}
+	if len(own) == 0 {
+		return nil, errNoDriverData
+	}
+	return core.Build(road, own, opt)
+}
+
+const errNoDriverData = buildError("l2r: no training trajectories for the requested driver")
+
+// IngestOptions configures Router.Ingest; re-exported from core.
+type IngestOptions = core.IngestOptions
+
+// IngestStats reports one incremental update; re-exported from core.
+type IngestStats = core.IngestStats
+
+// Load reconstructs a router from an artifact written by Router.Save.
+// See core.Load.
+func Load(r io.Reader) (*Router, error) { return core.Load(r) }

@@ -1,0 +1,88 @@
+package l2r_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+	"repro/l2r"
+)
+
+// extWorld simulates a small world for the extended-API tests.
+func extWorld(tb testing.TB, seed int64, trips int) (*roadnet.Graph, []*traj.Trajectory) {
+	tb.Helper()
+	road := roadnet.Generate(roadnet.Tiny(seed))
+	sim := traj.NewSimulator(road, traj.D2Like(seed, trips))
+	return road, sim.Run()
+}
+
+func TestBuildPersonalized(t *testing.T) {
+	road, ts := extWorld(t, 51, 400)
+	// Pick the driver with the most trips.
+	counts := map[int]int{}
+	for _, tr := range ts {
+		counts[tr.Driver]++
+	}
+	best, bestN := -1, 0
+	for d, n := range counts {
+		if n > bestN {
+			best, bestN = d, n
+		}
+	}
+	if bestN < 5 {
+		t.Skip("no driver with enough trips")
+	}
+	r, err := l2r.BuildPersonalized(road, ts, best, l2r.Options{SkipMapMatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().Trajectories != bestN {
+		t.Fatalf("personalized router trained on %d trips, want %d", r.Stats().Trajectories, bestN)
+	}
+	res := r.Route(ts[0].Source(), ts[0].Destination())
+	if len(res.Path) > 0 && !res.Path.Valid(road) {
+		t.Fatal("personalized route invalid")
+	}
+}
+
+func TestBuildPersonalizedUnknownDriver(t *testing.T) {
+	road, ts := extWorld(t, 53, 50)
+	if _, err := l2r.BuildPersonalized(road, ts, -99, l2r.Options{SkipMapMatching: true}); err == nil {
+		t.Fatal("unknown driver built a router")
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	road, ts := extWorld(t, 57, 400)
+	r, err := l2r.Build(road, ts, l2r.Options{SkipMapMatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := l2r.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Route(ts[0].Source(), ts[0].Destination())
+	b := loaded.Route(ts[0].Source(), ts[0].Destination())
+	if len(a.Path) != len(b.Path) {
+		t.Fatalf("loaded router routes differently: %d vs %d vertices", len(b.Path), len(a.Path))
+	}
+}
+
+func TestFacadeIngest(t *testing.T) {
+	road, ts := extWorld(t, 59, 500)
+	cut := len(ts) / 2
+	r, err := l2r.Build(road, ts[:cut], l2r.Options{SkipMapMatching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Ingest(ts[cut:], l2r.IngestOptions{SkipMapMatching: true})
+	if st.Paths == 0 {
+		t.Fatal("ingest processed no paths")
+	}
+}

@@ -1,0 +1,63 @@
+package l2r_test
+
+import (
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+	"repro/l2r"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	road := roadnet.Generate(roadnet.Tiny(42))
+	cfg := traj.D2Like(42, 150)
+	trips := traj.NewSimulator(road, cfg).Run()
+	train, test := traj.Split(trips, 0.75*cfg.HorizonSec)
+
+	router, err := l2r.Build(road, train, l2r.Options{SkipMapMatching: true})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if router.Stats().Regions == 0 {
+		t.Fatal("no regions")
+	}
+	for _, tr := range test[:min(10, len(test))] {
+		res := router.Route(tr.Source(), tr.Destination())
+		if len(res.Path) < 2 || !res.Path.Valid(road) {
+			t.Fatalf("bad path for test trip %d", tr.ID)
+		}
+		switch res.Category {
+		case l2r.InRegion, l2r.InOutRegion, l2r.OutRegion:
+		default:
+			t.Fatalf("unknown category %v", res.Category)
+		}
+	}
+}
+
+func TestTimeAware(t *testing.T) {
+	road := roadnet.Generate(roadnet.Tiny(43))
+	cfg := traj.D2Like(43, 200)
+	trips := traj.NewSimulator(road, cfg).Run()
+	train, test := traj.Split(trips, 0.8*cfg.HorizonSec)
+
+	ta, err := l2r.BuildTimeAware(road, train, l2r.Options{SkipMapMatching: true})
+	if err != nil {
+		t.Fatalf("BuildTimeAware: %v", err)
+	}
+	if ta.Peak == nil || ta.OffPeak == nil {
+		t.Fatal("missing per-period router")
+	}
+	q := test[0]
+	peakRes := ta.Route(q.Source(), q.Destination(), true)
+	offRes := ta.Route(q.Source(), q.Destination(), false)
+	if len(peakRes.Path) < 2 || len(offRes.Path) < 2 {
+		t.Fatal("time-aware routing failed")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
