@@ -13,7 +13,9 @@ package repro_test
 
 import (
 	"bytes"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/region"
 	"repro/internal/roadnet"
 	"repro/internal/route"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/spatial"
 	"repro/internal/splice"
@@ -566,9 +569,102 @@ func BenchmarkIngest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		clone := r.Clone()
+		// DeepClone, not Clone: Ingest mutates the region graph, which a
+		// shallow clone shares with the cached benchmark router — later
+		// benchmarks would measure a polluted world.
+		clone := r.DeepClone()
 		b.StartTimer()
 		clone.Ingest(batch, core.IngestOptions{SkipMapMatching: true})
+	}
+}
+
+// BenchmarkServe measures online serving throughput on a Zipf-skewed
+// query mix — the scale-free popularity profile of real road traffic,
+// where a few hot OD pairs dominate. Three configurations:
+//
+//   - RouterDirect: the uncached single-caller core.Router.Route every
+//     pre-serving caller used — the baseline the serving subsystem must
+//     beat.
+//   - EngineColdCache: the serve engine with caching disabled, queried
+//     concurrently (measures snapshot/clone-pool overhead plus
+//     parallel speed-up).
+//   - EngineWarmCache: the serve engine with its route cache warm on
+//     the same Zipf mix — the steady state of a hot serving shard.
+func BenchmarkServe(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	qs := benchQueries(b)
+
+	// Pre-draw a deterministic Zipf-ranked index stream: rank 0 (the
+	// hottest OD pair) is geometrically more popular than rank 1, etc.
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(qs)-1))
+	mix := make([]int, 8192)
+	for i := range mix {
+		mix[i] = int(zipf.Uint64())
+	}
+
+	b.Run("RouterDirect", func(b *testing.B) {
+		single := r.Clone()
+		for i := 0; i < b.N; i++ {
+			q := qs[mix[i%len(mix)]]
+			single.Route(q.S, q.D)
+		}
+	})
+
+	b.Run("EngineColdCache", func(b *testing.B) {
+		e := serve.NewEngine(r.DeepClone(), serve.Options{CacheSize: -1})
+		var next int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(atomic.AddInt64(&next, 1))
+				q := qs[mix[i%len(mix)]]
+				e.Route(q.S, q.D)
+			}
+		})
+	})
+
+	b.Run("EngineWarmCache", func(b *testing.B) {
+		e := serve.NewEngine(r.DeepClone(), serve.Options{CacheSize: 1 << 15})
+		for _, i := range mix {
+			e.Route(qs[i].S, qs[i].D)
+		}
+		warm := e.Stats() // exclude warm-up misses from the reported rate
+		b.ResetTimer()
+		var next int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(atomic.AddInt64(&next, 1))
+				q := qs[mix[i%len(mix)]]
+				e.Route(q.S, q.D)
+			}
+		})
+		b.StopTimer()
+		st := e.Stats()
+		hits := st.CacheHits - warm.CacheHits
+		if total := hits + st.CacheMisses - warm.CacheMisses; total > 0 {
+			b.ReportMetric(100*float64(hits)/float64(total), "hit%")
+		}
+	})
+}
+
+// BenchmarkServeIngest measures the copy-on-write ingest swap — the
+// price of keeping the served router current without blocking queries.
+func BenchmarkServeIngest(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	batch := w.Test
+	if len(batch) > 50 {
+		batch = batch[:50]
+	}
+	e := serve.NewEngine(r.DeepClone(), serve.Options{
+		// Match BenchmarkIngest: measure the clone-and-swap itself, not
+		// re-map-matching the batch.
+		Ingest: core.IngestOptions{SkipMapMatching: true},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Ingest(batch)
 	}
 }
 

@@ -1,0 +1,121 @@
+// Command l2rserve serves a built L2R router over HTTP: concurrent
+// routing queries with a sharded result cache, live trajectory
+// ingestion via copy-on-write snapshot swaps, and serving metrics.
+//
+// A deployment loads an artifact produced by l2rartifact (paying the
+// offline build once); without -artifact the server builds a synthetic
+// world on startup, which is handy for demos and load tests.
+//
+// Usage:
+//
+//	l2rserve -artifact router.l2r [-addr :8080]
+//	l2rserve [-net n1|n2|tiny] [-trips N] [-seed N] [-addr :8080]
+//
+// Endpoints:
+//
+//	GET  /route?src=S&dst=D
+//	GET  /route/alternatives?src=S&dst=D&k=K
+//	POST /ingest                 {"paths": [[v0,v1,...], ...]}
+//	GET  /stats
+//	GET  /healthz
+//
+// The server drains in-flight requests on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+	"repro/l2r"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	artifact := flag.String("artifact", "", "router artifact to serve (from l2rartifact / Router.Save)")
+	network := flag.String("net", "n2", "synthetic network when no artifact: n1, n2 or tiny")
+	trips := flag.Int("trips", 1500, "synthetic training trajectories when no artifact")
+	seed := flag.Int64("seed", 1, "synthetic world seed")
+	cacheSize := flag.Int("cache", 4096, "route cache capacity in entries (negative disables)")
+	cacheShards := flag.Int("cache-shards", 16, "route cache shard count")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	router, err := loadRouter(*artifact, *network, *trips, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := router.Stats()
+	log.Printf("router ready: %d vertices, %d regions, %d T-edges, %d B-edges",
+		router.Road().NumVertices(), st.Regions, st.TEdges, st.BEdges)
+
+	engine := l2r.NewEngine(router, l2r.ServeOptions{
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		CacheShards: *cacheShards,
+	})
+	srv := &http.Server{Addr: *addr, Handler: engine.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		log.Printf("serving on %s (cache %d entries / %d shards)", *addr, *cacheSize, *cacheShards)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("listen: %v", err)
+		}
+	}()
+
+	<-ctx.Done()
+	log.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	final := engine.Stats()
+	log.Printf("served %d queries (%.1f qps, cache hit rate %.1f%%, generation %d, %d ingests)",
+		final.Queries, final.QPS, 100*final.CacheHitRate, final.SnapshotGeneration, final.Ingests)
+}
+
+// loadRouter either loads a saved artifact or builds a synthetic world.
+func loadRouter(artifact, network string, trips int, seed int64) (*l2r.Router, error) {
+	if artifact != "" {
+		f, err := os.Open(artifact)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		log.Printf("loading artifact %s", artifact)
+		return l2r.Load(f)
+	}
+
+	var g *roadnet.Graph
+	var cfg traj.SimConfig
+	switch network {
+	case "n1":
+		g = roadnet.Generate(roadnet.N1Like(seed))
+		cfg = traj.D1Like(seed+1, trips)
+	case "n2":
+		g = roadnet.Generate(roadnet.N2Like(seed))
+		cfg = traj.D2Like(seed+1, trips)
+	case "tiny":
+		g = roadnet.Generate(roadnet.Tiny(seed))
+		cfg = traj.D2Like(seed+1, trips)
+	default:
+		return nil, fmt.Errorf("unknown network %q", network)
+	}
+	log.Printf("no artifact: building synthetic %s world (%d trips, seed %d)", network, trips, seed)
+	all := traj.NewSimulator(g, cfg).Run()
+	train, _ := traj.Split(all, 0.75*cfg.HorizonSec)
+	return l2r.Build(g, train, l2r.Options{SkipMapMatching: true})
+}

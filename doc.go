@@ -6,4 +6,27 @@
 // substrates live under internal/. The root package exists to host the
 // benchmark suite (bench_test.go), which regenerates every table and
 // figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+//
+// # Serving
+//
+// Beyond the offline pipeline, internal/serve (re-exported as
+// l2r.Engine) serves a built router to concurrent traffic: lock-free
+// snapshot reads, copy-on-write live ingestion, a sharded LRU route
+// cache with generation-based invalidation, and serving metrics.
+// cmd/l2rserve wraps it in an HTTP server:
+//
+//	go run ./cmd/l2rserve -net tiny -trips 400 &
+//	curl 'localhost:8080/route?src=1&dst=50'
+//	curl -X POST localhost:8080/ingest -d '{"paths":[[1,2,3]]}'
+//	curl localhost:8080/stats
+//
+// # Verifying
+//
+// The tier-1 check is:
+//
+//	go build ./... && go test ./...
+//
+// with go test -race ./internal/serve/ covering the concurrent
+// query/ingest paths and go test -bench 'BenchmarkServe$' . the
+// serving throughput.
 package repro

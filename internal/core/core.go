@@ -111,9 +111,18 @@ type Stats struct {
 }
 
 // Router is a built L2R system, ready to answer routing queries.
-// Building happens once offline; Route is comparatively cheap. A Router
-// is not safe for concurrent use (it owns a route.Engine); Clone creates
-// an independent query handle sharing the immutable region graph.
+// Building happens once offline; Route is comparatively cheap.
+//
+// Concurrency: a single Router is not safe for concurrent use — every
+// query method reuses the per-vertex buffers of its route.Engine. The
+// query methods (Route, RouteK, Categorize, and the read-only accessors)
+// mutate nothing beyond that engine state, so independent Clones may
+// answer queries concurrently as long as nothing mutates the shared
+// built state. Ingest and EnableMultiPreferences DO mutate shared state
+// (the region graph's path sets and preferences, the learned map) and
+// must never run concurrently with queries on the same Router or on any
+// Clone sharing its region graph; for live ingestion under traffic, use
+// DeepClone → Ingest → swap (internal/serve does exactly this).
 type Router struct {
 	road  *roadnet.Graph
 	rg    *region.Graph
@@ -147,9 +156,40 @@ func (r *Router) LearnedPreference(edgeID int) (pref.Result, bool) {
 }
 
 // Clone returns an independent query handle over the same built system.
+// The clone shares the region graph and preference maps with r: safe for
+// concurrent *queries*, but Ingest through either handle would mutate
+// state visible to both. Use DeepClone when the copy must be mutated.
 func (r *Router) Clone() *Router {
 	cp := *r
 	cp.eng = route.NewEngine(r.road)
+	return &cp
+}
+
+// DeepClone returns a copy of the router whose mutable built state —
+// the region graph, the learned/region/multi preference maps — is
+// deep-copied, so Ingest and EnableMultiPreferences on the copy never
+// affect r or its Clones. The road network and spatial index are shared
+// (immutable after build). This is the copy-on-write primitive behind
+// snapshot-swapped serving: clone, ingest into the clone off the query
+// path, then atomically publish the clone.
+func (r *Router) DeepClone() *Router {
+	cp := *r
+	cp.eng = route.NewEngine(r.road)
+	cp.rg = r.rg.Clone()
+	cp.learned = make(map[int]pref.Result, len(r.learned))
+	for k, v := range r.learned {
+		cp.learned[k] = v
+	}
+	cp.regionPrefs = make(map[int]pref.Result, len(r.regionPrefs))
+	for k, v := range r.regionPrefs {
+		cp.regionPrefs[k] = v
+	}
+	if r.multi != nil {
+		cp.multi = make(map[int]pref.MultiResult, len(r.multi))
+		for k, v := range r.multi {
+			cp.multi[k] = v
+		}
+	}
 	return &cp
 }
 

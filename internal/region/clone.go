@@ -1,0 +1,72 @@
+package region
+
+import "repro/internal/roadnet"
+
+// Clone returns a deep copy of the region graph suitable for
+// copy-on-write updates: AddPaths (and the preference re-learning that
+// follows it) on the clone never mutates state reachable from the
+// original, so readers of the original need no synchronization while
+// the clone is being advanced.
+//
+// Structures that incremental updates mutate — edges and their path
+// sets, inner-region paths, transfer-center lists, adjacency, the edge
+// index — are copied. Structures that stay fixed after Build — the
+// road network, the region partition and member lists, the
+// vertex→region map, centroids, and road-type sets — are shared.
+// Stored Path vertex slices are also shared: updates append fresh
+// PathInfo/InnerPath entries or bump their counters but never edit a
+// stored vertex sequence in place.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{
+		Road:      g.Road,
+		Regions:   g.Regions,
+		regionOf:  g.regionOf,
+		centroids: g.centroids,
+		topTypes:  g.topTypes,
+	}
+
+	cp.Edges = make([]*Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		ne := &Edge{
+			ID:      e.ID,
+			R1:      e.R1,
+			R2:      e.R2,
+			Kind:    e.Kind,
+			Pref:    e.Pref,
+			HasPref: e.HasPref,
+		}
+		if len(e.PathsFwd) > 0 {
+			ne.PathsFwd = append([]PathInfo(nil), e.PathsFwd...)
+		}
+		if len(e.PathsRev) > 0 {
+			ne.PathsRev = append([]PathInfo(nil), e.PathsRev...)
+		}
+		// Hash caches are rebuilt lazily on the clone's first AddPath.
+		cp.Edges[i] = ne
+	}
+
+	cp.adj = make([][]int, len(g.adj))
+	for i, a := range g.adj {
+		if len(a) > 0 {
+			cp.adj[i] = append([]int(nil), a...)
+		}
+	}
+	cp.index = make(map[[2]int]int, len(g.index))
+	for k, v := range g.index {
+		cp.index[k] = v
+	}
+
+	cp.inner = make([][]InnerPath, len(g.inner))
+	for i, ips := range g.inner {
+		if len(ips) > 0 {
+			cp.inner[i] = append([]InnerPath(nil), ips...)
+		}
+	}
+	cp.transferCenters = make([][]roadnet.VertexID, len(g.transferCenters))
+	for i, tc := range g.transferCenters {
+		if len(tc) > 0 {
+			cp.transferCenters[i] = append([]roadnet.VertexID(nil), tc...)
+		}
+	}
+	return cp
+}

@@ -1,0 +1,126 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// cloneWorld builds the lineWorld graph with trajectories crossing
+// R0 -> R1 in both directions, then wires the rest with B-edges.
+func cloneWorld(t *testing.T) (*Graph, []roadnet.Path) {
+	t.Helper()
+	road, regions := lineWorld(t)
+	paths := []roadnet.Path{
+		{0, 1, 2, 3, 4, 5},
+		{0, 1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+	}
+	g := Build(road, regions, paths, Options{})
+	g.ConnectBFS()
+	return g, paths
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g, _ := cloneWorld(t)
+	cp := g.Clone()
+
+	// Snapshot the original's observable state.
+	origEdges := len(g.Edges)
+	var origCounts []int
+	for _, e := range g.Edges {
+		for _, pi := range e.PathsFwd {
+			origCounts = append(origCounts, pi.Count)
+		}
+	}
+	origInner := make([]int, g.NumRegions())
+	for r := 0; r < g.NumRegions(); r++ {
+		for _, ip := range g.InnerPaths(r) {
+			origInner[r] += ip.Count
+		}
+	}
+
+	// Mutate the clone: re-add a known path (bumps counters) plus a
+	// distinct one between the same regions (appends entries).
+	newPaths := []roadnet.Path{
+		{0, 1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 5},
+	}
+	cp.AddPaths(newPaths, Options{})
+
+	if len(g.Edges) != origEdges {
+		t.Fatalf("original edge count changed: %d -> %d", origEdges, len(g.Edges))
+	}
+	var counts []int
+	for _, e := range g.Edges {
+		for _, pi := range e.PathsFwd {
+			counts = append(counts, pi.Count)
+		}
+	}
+	if len(counts) != len(origCounts) {
+		t.Fatalf("original path-set size changed: %d -> %d", len(origCounts), len(counts))
+	}
+	for i := range counts {
+		if counts[i] != origCounts[i] {
+			t.Fatalf("original path count %d changed: %d -> %d", i, origCounts[i], counts[i])
+		}
+	}
+	for r := 0; r < g.NumRegions(); r++ {
+		got := 0
+		for _, ip := range g.InnerPaths(r) {
+			got += ip.Count
+		}
+		if got != origInner[r] {
+			t.Fatalf("original inner paths of region %d changed: %d -> %d", r, origInner[r], got)
+		}
+	}
+
+	// And the clone did absorb the update.
+	cpTotal, gTotal := 0, 0
+	for _, e := range cp.Edges {
+		for _, pi := range append(e.PathsFwd, e.PathsRev...) {
+			cpTotal += pi.Count
+		}
+	}
+	for _, e := range g.Edges {
+		for _, pi := range append(e.PathsFwd, e.PathsRev...) {
+			gTotal += pi.Count
+		}
+	}
+	if cpTotal <= gTotal {
+		t.Fatalf("clone did not absorb update: clone total %d, original %d", cpTotal, gTotal)
+	}
+}
+
+func TestCloneAnswersLikeOriginal(t *testing.T) {
+	g, _ := cloneWorld(t)
+	cp := g.Clone()
+	if cp.NumRegions() != g.NumRegions() {
+		t.Fatalf("region count: got %d want %d", cp.NumRegions(), g.NumRegions())
+	}
+	for v := 0; v < g.Road.NumVertices(); v++ {
+		if cp.RegionOf(roadnet.VertexID(v)) != g.RegionOf(roadnet.VertexID(v)) {
+			t.Fatalf("RegionOf(%d) differs", v)
+		}
+	}
+	for r1 := 0; r1 < g.NumRegions(); r1++ {
+		for r2 := r1 + 1; r2 < g.NumRegions(); r2++ {
+			ge, ce := g.FindEdge(r1, r2), cp.FindEdge(r1, r2)
+			if (ge == nil) != (ce == nil) {
+				t.Fatalf("FindEdge(%d,%d) presence differs", r1, r2)
+			}
+			if ge == nil {
+				continue
+			}
+			if ge.Kind != ce.Kind || len(ge.PathsFwd) != len(ce.PathsFwd) || len(ge.PathsRev) != len(ce.PathsRev) {
+				t.Fatalf("edge (%d,%d) differs after clone", r1, r2)
+			}
+		}
+	}
+	for r := 0; r < g.NumRegions(); r++ {
+		gt, ct := g.TransferCenters(r), cp.TransferCenters(r)
+		if len(gt) != len(ct) {
+			t.Fatalf("transfer centers of region %d differ", r)
+		}
+	}
+}

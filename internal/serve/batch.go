@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+)
+
+// Request is one query in a batch.
+type Request struct {
+	Src, Dst roadnet.VertexID
+	// K is the number of ranked alternatives wanted (0 or 1 = single
+	// best route).
+	K int
+}
+
+// Response is the answer to one batch request. Results holds at least
+// one element; its contents may be shared with other callers and must
+// be treated as immutable.
+type Response struct {
+	Results  []core.RouteResult
+	CacheHit bool
+}
+
+// RouteBatch answers a batch of queries over the engine's bounded
+// worker pool (Options.Workers), preserving order. All requests in one
+// call are answered against a single snapshot load each, so a batch
+// racing an ingest may straddle two generations — each individual
+// answer is still consistent.
+func (e *Engine) RouteBatch(reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := e.opt.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i, q := range reqs {
+			out[i].Results, out[i].CacheHit = e.RouteK(q.Src, q.Dst, q.K)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				q := reqs[i]
+				out[i].Results, out[i].CacheHit = e.RouteK(q.Src, q.Dst, q.K)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+)
+
+// cacheKey identifies one route query: endpoints plus the number of
+// alternatives requested (RouteK(k=1) and RouteK(k=3) are different
+// answers).
+type cacheKey struct {
+	s, d roadnet.VertexID
+	k    int32
+}
+
+// hash mixes the key into a shard selector (fnv-1a over the 12 bytes).
+func (k cacheKey) hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range [3]uint32{uint32(k.s), uint32(k.d), uint32(k.k)} {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(byte(w >> (8 * i)))
+			h *= prime
+		}
+	}
+	return h
+}
+
+// cacheEntry is one cached answer, tagged with the snapshot generation
+// that produced it. Entries from older generations are dead: the router
+// they were computed on has been replaced, so they count as misses and
+// are dropped on sight.
+type cacheEntry struct {
+	key  cacheKey
+	gen  uint64
+	res  []core.RouteResult
+	prev *cacheEntry
+	next *cacheEntry
+}
+
+// cacheShard is one lock domain: a map plus an intrusive LRU list
+// (head = most recent).
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[cacheKey]*cacheEntry
+	head  *cacheEntry
+	tail  *cacheEntry
+	cap   int
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// routeCache is a sharded LRU with generation-based invalidation.
+type routeCache struct {
+	shards []*cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newRouteCache(capacity, shards int) *routeCache {
+	if shards > capacity {
+		shards = capacity
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	per := (capacity + shards - 1) / shards
+	c := &routeCache{shards: make([]*cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{items: make(map[cacheKey]*cacheEntry, per), cap: per}
+	}
+	return c
+}
+
+func (c *routeCache) shard(k cacheKey) *cacheShard {
+	return c.shards[k.hash()%uint64(len(c.shards))]
+}
+
+// get returns the cached answer for key at generation gen. An entry
+// from an older generation is removed and reported as a miss.
+func (c *routeCache) get(key cacheKey, gen uint64) ([]core.RouteResult, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.items[key]
+	if ok && e.gen == gen {
+		s.unlink(e)
+		s.pushFront(e)
+		res := e.res
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return res, true
+	}
+	if ok { // stale generation
+		s.unlink(e)
+		delete(s.items, key)
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put inserts (or refreshes) the answer computed at generation gen,
+// evicting the least recently used entry when the shard is full. A
+// stale racer — put of an older generation after a newer one landed —
+// is ignored.
+func (c *routeCache) put(key cacheKey, gen uint64, res []core.RouteResult) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
+		if gen < e.gen {
+			return
+		}
+		e.gen, e.res = gen, res
+		s.unlink(e)
+		s.pushFront(e)
+		return
+	}
+	e := &cacheEntry{key: key, gen: gen, res: res}
+	s.items[key] = e
+	s.pushFront(e)
+	if len(s.items) > s.cap {
+		old := s.tail
+		s.unlink(old)
+		delete(s.items, old.key)
+	}
+}
+
+// len returns the live entry count across shards.
+func (c *routeCache) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}

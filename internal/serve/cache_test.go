@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+)
+
+func res(tag int) []core.RouteResult {
+	return []core.RouteResult{{Path: roadnet.Path{roadnet.VertexID(tag)}}}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newRouteCache(4, 1) // one shard, capacity 4
+	for i := 0; i < 4; i++ {
+		c.put(cacheKey{s: roadnet.VertexID(i), d: 1, k: 1}, 1, res(i))
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, ok := c.get(cacheKey{s: 0, d: 1, k: 1}, 1); !ok {
+		t.Fatal("key 0 missing")
+	}
+	c.put(cacheKey{s: 100, d: 1, k: 1}, 1, res(100))
+	if _, ok := c.get(cacheKey{s: 1, d: 1, k: 1}, 1); ok {
+		t.Fatal("LRU victim survived")
+	}
+	for _, s := range []int{0, 2, 3, 100} {
+		if _, ok := c.get(cacheKey{s: roadnet.VertexID(s), d: 1, k: 1}, 1); !ok {
+			t.Fatalf("key %d evicted out of order", s)
+		}
+	}
+	if got := c.len(); got != 4 {
+		t.Fatalf("len = %d want 4", got)
+	}
+}
+
+func TestCacheGenerationInvalidation(t *testing.T) {
+	c := newRouteCache(8, 2)
+	key := cacheKey{s: 5, d: 9, k: 1}
+	c.put(key, 1, res(1))
+	if _, ok := c.get(key, 1); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	// Same key at a newer generation: stale, must miss and be dropped.
+	if _, ok := c.get(key, 2); ok {
+		t.Fatal("stale entry served across generations")
+	}
+	if got := c.len(); got != 0 {
+		t.Fatalf("stale entry not dropped: len = %d", got)
+	}
+	// A put from an older generation must not clobber a newer entry.
+	c.put(key, 3, res(3))
+	c.put(key, 2, res(2))
+	got, ok := c.get(key, 3)
+	if !ok || got[0].Path[0] != 3 {
+		t.Fatal("older-generation put clobbered newer entry")
+	}
+}
+
+func TestCacheShardingSpreadsKeys(t *testing.T) {
+	c := newRouteCache(1024, 8)
+	for i := 0; i < 512; i++ {
+		c.put(cacheKey{s: roadnet.VertexID(i), d: roadnet.VertexID(i * 3), k: 1}, 1, res(i))
+	}
+	empty := 0
+	for _, s := range c.shards {
+		if len(s.items) == 0 {
+			empty++
+		}
+	}
+	if empty > 0 {
+		t.Fatalf("%d of %d shards empty after 512 inserts", empty, len(c.shards))
+	}
+}
+
+func TestCacheCapacitySmallerThanShards(t *testing.T) {
+	c := newRouteCache(2, 16) // shards clamp to capacity
+	if len(c.shards) != 2 {
+		t.Fatalf("shards = %d want 2", len(c.shards))
+	}
+	for i := 0; i < 64; i++ {
+		c.put(cacheKey{s: roadnet.VertexID(i), d: 0, k: 1}, 1, res(i))
+	}
+	if got := c.len(); got > 2 {
+		t.Fatalf("len = %d exceeds capacity", got)
+	}
+}
+
+func TestCacheCountersRace(t *testing.T) {
+	c := newRouteCache(64, 4)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				key := cacheKey{s: roadnet.VertexID(i % 32), d: roadnet.VertexID(w), k: 1}
+				if _, ok := c.get(key, 1); !ok {
+					c.put(key, 1, res(i))
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	// get is called exactly once per loop iteration.
+	if st := c.hits.Load() + c.misses.Load(); st != 4*500 {
+		t.Fatalf("hit+miss = %d want %d", st, 4*500)
+	}
+}

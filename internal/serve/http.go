@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// RouteJSON is the wire form of one recommended route.
+type RouteJSON struct {
+	Source         int     `json:"source"`
+	Destination    int     `json:"destination"`
+	Path           []int   `json:"path"`
+	LengthM        float64 `json:"length_m"`
+	TravelTimeS    float64 `json:"travel_time_s"`
+	Category       string  `json:"category"`
+	Evidence       string  `json:"evidence"`
+	UsedRegionPath bool    `json:"used_region_path"`
+	RegionPath     []int   `json:"region_path,omitempty"`
+}
+
+// routeReply is the /route and /route/alternatives response body.
+type routeReply struct {
+	Routes     []RouteJSON `json:"routes"`
+	Cached     bool        `json:"cached"`
+	Generation uint64      `json:"generation"`
+}
+
+// ingestRequest is the /ingest request body: road-network paths, one
+// per trajectory, each a vertex-ID sequence (the map-matched form; raw
+// GPS ingestion goes through the library API).
+type ingestRequest struct {
+	Paths [][]int `json:"paths"`
+}
+
+// ingestReply is the /ingest response body.
+type ingestReply struct {
+	Paths              int     `json:"paths"`
+	TouchedEdges       int     `json:"touched_edges"`
+	UpgradedEdges      int     `json:"upgraded_edges"`
+	NewEdges           int     `json:"new_edges"`
+	Relearned          int     `json:"relearned"`
+	StalenessRatio     float64 `json:"staleness_ratio"`
+	RebuildRecommended bool    `json:"rebuild_recommended"`
+	ElapsedMs          float64 `json:"elapsed_ms"`
+	Generation         uint64  `json:"generation"`
+}
+
+// Handler returns the engine's HTTP API:
+//
+//	GET  /route?src=S&dst=D              best route for (S, D)
+//	GET  /route/alternatives?src=S&dst=D&k=K   up to K ranked routes
+//	POST /ingest                         {"paths": [[v0,v1,...], ...]}
+//	GET  /stats                          serving metrics (Stats)
+//	GET  /healthz                        liveness + snapshot generation
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/route", e.handleRoute)
+	mux.HandleFunc("/route/alternatives", e.handleAlternatives)
+	mux.HandleFunc("/ingest", e.handleIngest)
+	mux.HandleFunc("/stats", e.handleStats)
+	mux.HandleFunc("/healthz", e.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseVertex reads and range-checks one vertex query parameter.
+func (e *Engine) parseVertex(r *http.Request, name string) (roadnet.VertexID, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	n := e.Snapshot().Road().NumVertices()
+	if v < 0 || v >= n {
+		return 0, fmt.Errorf("parameter %q: vertex %d out of range [0,%d)", name, v, n)
+	}
+	return roadnet.VertexID(v), nil
+}
+
+func (e *Engine) toJSON(res core.RouteResult, s, d roadnet.VertexID) RouteJSON {
+	road := e.Snapshot().Road()
+	out := RouteJSON{
+		Source:         int(s),
+		Destination:    int(d),
+		Path:           make([]int, len(res.Path)),
+		Category:       res.Category.String(),
+		Evidence:       res.Evidence.String(),
+		UsedRegionPath: res.UsedRegionPath,
+		RegionPath:     res.RegionPath,
+	}
+	for i, v := range res.Path {
+		out.Path[i] = int(v)
+	}
+	if len(res.Path) >= 2 {
+		out.LengthM = res.Path.Length(road)
+		out.TravelTimeS = res.Path.Cost(road, roadnet.TT)
+	}
+	return out
+}
+
+func (e *Engine) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s, err := e.parseVertex(r, "src")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d, err := e.parseVertex(r, "dst")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results, hit, gen := e.routeK(s, d, 1)
+	if results[0].Evidence == core.EvidenceNone {
+		writeError(w, http.StatusNotFound, "no path from %d to %d", s, d)
+		return
+	}
+	writeJSON(w, http.StatusOK, routeReply{
+		Routes:     []RouteJSON{e.toJSON(results[0], s, d)},
+		Cached:     hit,
+		Generation: gen,
+	})
+}
+
+func (e *Engine) handleAlternatives(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s, err := e.parseVertex(r, "src")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d, err := e.parseVertex(r, "dst")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := 3
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 || k > 16 {
+			writeError(w, http.StatusBadRequest, "parameter %q must be in [1,16]", "k")
+			return
+		}
+	}
+	results, hit, gen := e.routeK(s, d, k)
+	if len(results) == 0 || results[0].Evidence == core.EvidenceNone {
+		writeError(w, http.StatusNotFound, "no path from %d to %d", s, d)
+		return
+	}
+	reply := routeReply{Cached: hit, Generation: gen}
+	for _, res := range results {
+		reply.Routes = append(reply.Routes, e.toJSON(res, s, d))
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Paths) == 0 {
+		writeError(w, http.StatusBadRequest, "no paths in request")
+		return
+	}
+	road := e.Snapshot().Road()
+	n := road.NumVertices()
+	ts := make([]*traj.Trajectory, 0, len(req.Paths))
+	for i, raw := range req.Paths {
+		if len(raw) < 2 {
+			writeError(w, http.StatusBadRequest, "path %d has fewer than 2 vertices", i)
+			return
+		}
+		p := make(roadnet.Path, len(raw))
+		for j, v := range raw {
+			if v < 0 || v >= n {
+				writeError(w, http.StatusBadRequest, "path %d vertex %d out of range [0,%d)", i, v, n)
+				return
+			}
+			p[j] = roadnet.VertexID(v)
+		}
+		if !p.Valid(road) {
+			writeError(w, http.StatusBadRequest, "path %d is not connected in the road network", i)
+			return
+		}
+		ts = append(ts, &traj.Trajectory{ID: i, Truth: p})
+	}
+	// Paths arrive already map-matched (vertex sequences), so ingest
+	// trusts them as ground truth.
+	opt := e.opt.Ingest
+	opt.SkipMapMatching = true
+	st, gen := e.ingest(ts, opt)
+	writeJSON(w, http.StatusOK, ingestReply{
+		Paths:              st.Paths,
+		TouchedEdges:       len(st.TouchedEdges),
+		UpgradedEdges:      st.UpgradedEdges,
+		NewEdges:           st.NewEdges,
+		Relearned:          st.Relearned,
+		StalenessRatio:     st.StalenessRatio(),
+		RebuildRecommended: st.RebuildRecommended,
+		ElapsedMs:          float64(st.Elapsed.Microseconds()) / 1000,
+		Generation:         gen,
+	})
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Stats())
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"generation": e.Generation(),
+	})
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// latHist is a lock-free log₂-bucketed latency histogram: bucket i
+// holds observations with ceil(log2(µs)) == i, covering 1 µs up to
+// ~1.2 hours. Quantiles read the bucket upper bounds — coarse (factor
+// of two) but allocation-free and safe under full query concurrency.
+type latHist struct {
+	buckets [33]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	i := bits.Len64(us) // 0 for <1µs, else position of highest bit + 1
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+}
+
+// quantile returns an upper bound for the q-quantile (0 < q <= 1).
+func (h *latHist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			if i == 0 {
+				return time.Microsecond
+			}
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<uint(len(h.buckets)-1)) * time.Microsecond
+}
+
+func (h *latHist) mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// metrics aggregates serving measurements, overall and per query
+// category (the paper's InRegion / InOutRegion / OutRegion breakdown).
+type metrics struct {
+	all    latHist
+	perCat [3]latHist
+}
+
+func (m *metrics) observe(cat core.Category, d time.Duration) {
+	m.all.observe(d)
+	if int(cat) < len(m.perCat) {
+		m.perCat[cat].observe(d)
+	}
+}
+
+// LatencyStats summarizes one latency distribution.
+type LatencyStats struct {
+	Queries uint64        `json:"queries"`
+	Mean    time.Duration `json:"mean_ns"`
+	P50     time.Duration `json:"p50_ns"`
+	P95     time.Duration `json:"p95_ns"`
+	P99     time.Duration `json:"p99_ns"`
+}
+
+func (h *latHist) stats() LatencyStats {
+	return LatencyStats{
+		Queries: h.count.Load(),
+		Mean:    h.mean(),
+		P50:     h.quantile(0.50),
+		P95:     h.quantile(0.95),
+		P99:     h.quantile(0.99),
+	}
+}
+
+// Stats is a point-in-time snapshot of serving health.
+type Stats struct {
+	// Uptime is the time since the engine was created.
+	Uptime time.Duration `json:"uptime_ns"`
+	// Queries counts Route/RouteK/RouteBatch requests answered.
+	Queries uint64 `json:"queries"`
+	// QPS is Queries averaged over Uptime.
+	QPS float64 `json:"qps"`
+
+	// CacheHits/CacheMisses/CacheHitRate/CacheEntries describe the
+	// route cache; all zero when caching is disabled.
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+
+	// SnapshotGeneration is the current router generation (starts at 1,
+	// +1 per Ingest/Publish).
+	SnapshotGeneration uint64 `json:"snapshot_generation"`
+	// Ingests counts copy-on-write ingest swaps; IngestedTrajectories
+	// the trajectories they carried.
+	Ingests              uint64 `json:"ingests"`
+	IngestedTrajectories uint64 `json:"ingested_trajectories"`
+	// IngestLag is the wall time the last ingest took from batch
+	// arrival to snapshot publication — how far behind live data the
+	// served router runs.
+	IngestLag time.Duration `json:"ingest_lag_ns"`
+	// SinceLastSwap is the time since the last snapshot publication.
+	SinceLastSwap time.Duration `json:"since_last_swap_ns"`
+
+	// Latency is the overall latency distribution; PerCategory breaks
+	// it down by the paper's query categories.
+	Latency     LatencyStats            `json:"latency"`
+	PerCategory map[string]LatencyStats `json:"per_category"`
+}
+
+// Stats gathers a consistent-enough snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	now := time.Now()
+	st := Stats{
+		Uptime:               now.Sub(e.start),
+		Queries:              e.met.all.count.Load(),
+		SnapshotGeneration:   e.Generation(),
+		Ingests:              e.ingests.Load(),
+		IngestedTrajectories: e.ingestedTrajs.Load(),
+		IngestLag:            time.Duration(e.lastIngestNs.Load()),
+		SinceLastSwap:        now.Sub(time.Unix(0, e.lastSwapUnix.Load())),
+		Latency:              e.met.all.stats(),
+		PerCategory:          make(map[string]LatencyStats, len(e.met.perCat)),
+	}
+	if st.Uptime > 0 {
+		st.QPS = float64(st.Queries) / st.Uptime.Seconds()
+	}
+	if e.cache != nil {
+		st.CacheHits = e.cache.hits.Load()
+		st.CacheMisses = e.cache.misses.Load()
+		if total := st.CacheHits + st.CacheMisses; total > 0 {
+			st.CacheHitRate = float64(st.CacheHits) / float64(total)
+		}
+		st.CacheEntries = e.cache.len()
+	}
+	for i := range e.met.perCat {
+		if e.met.perCat[i].count.Load() > 0 {
+			st.PerCategory[core.Category(i).String()] = e.met.perCat[i].stats()
+		}
+	}
+	return st
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatHistQuantiles(t *testing.T) {
+	var h latHist
+	// 90 fast observations (~8µs) and 10 slow ones (~1ms).
+	for i := 0; i < 90; i++ {
+		h.observe(8 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(1 * time.Millisecond)
+	}
+	p50, p99 := h.quantile(0.50), h.quantile(0.99)
+	if p50 > 64*time.Microsecond {
+		t.Fatalf("p50 = %v, expected in the fast band", p50)
+	}
+	if p99 < 512*time.Microsecond {
+		t.Fatalf("p99 = %v, expected in the slow band", p99)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	if mean := h.mean(); mean <= 0 || mean > time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestLatHistEmpty(t *testing.T) {
+	var h latHist
+	if h.quantile(0.99) != 0 || h.mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestLatHistSubMicrosecond(t *testing.T) {
+	var h latHist
+	h.observe(200 * time.Nanosecond)
+	if q := h.quantile(0.5); q != time.Microsecond {
+		t.Fatalf("sub-µs quantile = %v want 1µs floor", q)
+	}
+}
+
+func TestStatsShapes(t *testing.T) {
+	base, fresh := sharedWorld(t)
+	e := NewEngine(base.Clone(), Options{})
+	for _, q := range queries(fresh, 20) {
+		e.Route(q.Src, q.Dst)
+	}
+	st := e.Stats()
+	if st.Queries != 20 {
+		t.Fatalf("queries = %d", st.Queries)
+	}
+	if st.QPS <= 0 {
+		t.Fatal("QPS not positive")
+	}
+	if st.SnapshotGeneration != 1 {
+		t.Fatalf("generation = %d", st.SnapshotGeneration)
+	}
+	if st.Latency.Queries != 20 || st.Latency.P50 == 0 {
+		t.Fatalf("latency stats = %+v", st.Latency)
+	}
+	var catTotal uint64
+	for _, cs := range st.PerCategory {
+		catTotal += cs.Queries
+	}
+	if catTotal != 20 {
+		t.Fatalf("per-category totals %d != 20", catTotal)
+	}
+}

@@ -1,0 +1,209 @@
+// Package serve is the online serving subsystem: it takes a built (or
+// loaded) core.Router and exposes it to concurrent query traffic while
+// trajectory ingestion keeps the router current in the background.
+//
+// The design is snapshot swapping. The current router lives behind an
+// atomic pointer; queries load the snapshot, borrow a per-goroutine
+// clone from the snapshot's pool (a core.Router's search engine is
+// single-caller), answer, and return the clone — no locks on the query
+// path. Ingestion is copy-on-write: a single writer deep-clones the
+// current router, ingests the new trajectories into the clone off the
+// query path, and atomically publishes the result as the next
+// generation. Queries racing an ingest simply keep reading the previous
+// generation; nothing blocks and nothing is read mid-mutation.
+//
+// On top of the snapshot sit a sharded LRU route cache — real road
+// traffic is heavily skewed toward hot OD pairs, so repeated queries
+// should cost a map lookup, not a graph search — and serving metrics
+// (QPS, per-category latency quantiles, cache hit rate, snapshot
+// generation, ingest lag). Cache entries record the generation that
+// produced them and are treated as misses once the snapshot advances,
+// so an ingest that, say, upgrades a B-edge to a T-edge can never serve
+// a stale pre-ingest route.
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds RouteBatch parallelism (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the route-cache capacity in entries across all
+	// shards (default 4096). Negative disables caching.
+	CacheSize int
+	// CacheShards is the number of cache shards (default 16). More
+	// shards reduce lock contention under concurrent traffic.
+	CacheShards int
+	// Ingest tunes the copy-on-write trajectory ingestion.
+	Ingest core.IngestOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	return o
+}
+
+// snapshot is one published generation of the router. The pool hands
+// out per-goroutine clones (cheap: a fresh search engine over shared
+// built state) so concurrent queries never share engine buffers.
+type snapshot struct {
+	base *core.Router
+	gen  uint64
+	pool sync.Pool
+}
+
+func newSnapshot(base *core.Router, gen uint64) *snapshot {
+	s := &snapshot{base: base, gen: gen}
+	s.pool.New = func() any { return base.Clone() }
+	return s
+}
+
+func (s *snapshot) borrow() *core.Router   { return s.pool.Get().(*core.Router) }
+func (s *snapshot) release(r *core.Router) { s.pool.Put(r) }
+
+// Engine serves routing queries concurrently over snapshot-swapped
+// routers. All query methods are safe for concurrent use with each
+// other and with Ingest/Publish; Ingest and Publish serialize among
+// themselves.
+type Engine struct {
+	opt   Options
+	snap  atomic.Pointer[snapshot]
+	cache *routeCache // nil when disabled
+	met   metrics
+
+	writeMu sync.Mutex // serializes Ingest and Publish
+
+	start         time.Time
+	ingests       atomic.Uint64
+	ingestedTrajs atomic.Uint64
+	lastIngestNs  atomic.Int64 // wall time of the last copy-on-write ingest
+	lastSwapUnix  atomic.Int64 // unix nanos of the last snapshot swap
+}
+
+// NewEngine wraps a built router for serving. The engine takes
+// ownership: the caller must not mutate r (or Clones of it) afterwards.
+func NewEngine(r *core.Router, opt Options) *Engine {
+	opt = opt.withDefaults()
+	e := &Engine{opt: opt, start: time.Now()}
+	if opt.CacheSize > 0 {
+		e.cache = newRouteCache(opt.CacheSize, opt.CacheShards)
+	}
+	e.snap.Store(newSnapshot(r, 1))
+	e.lastSwapUnix.Store(time.Now().UnixNano())
+	return e
+}
+
+// Generation returns the current snapshot generation. It starts at 1
+// and increments on every Ingest or Publish.
+func (e *Engine) Generation() uint64 { return e.snap.Load().gen }
+
+// Snapshot returns the current generation's router for read-only use
+// (inspection, stats). Callers must not mutate it and must not call its
+// query methods concurrently with anything else; borrow a view through
+// Route/RouteK instead.
+func (e *Engine) Snapshot() *core.Router { return e.snap.Load().base }
+
+// Route answers one routing query. The boolean reports whether the
+// answer came from the route cache. The result (including its Path) may
+// be shared with other callers and must be treated as immutable.
+func (e *Engine) Route(s, d roadnet.VertexID) (core.RouteResult, bool) {
+	res, hit, _ := e.routeK(s, d, 1)
+	return res[0], hit
+}
+
+// RouteK answers one query with up to k ranked alternatives (k <= 1
+// behaves like Route). Results may be shared with other callers and
+// must be treated as immutable.
+func (e *Engine) RouteK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool) {
+	res, hit, _ := e.routeK(s, d, k)
+	return res, hit
+}
+
+// routeK additionally reports the generation of the snapshot that
+// answered — Engine.Generation() read separately could already be a
+// swap ahead of the router that computed the route.
+func (e *Engine) routeK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool, uint64) {
+	if k < 1 {
+		k = 1
+	}
+	start := time.Now()
+	snap := e.snap.Load()
+	key := cacheKey{s: s, d: d, k: int32(k)}
+	if e.cache != nil {
+		if res, ok := e.cache.get(key, snap.gen); ok {
+			e.met.observe(res[0].Category, time.Since(start))
+			return res, true, snap.gen
+		}
+	}
+	r := snap.borrow()
+	var res []core.RouteResult
+	if k == 1 {
+		res = []core.RouteResult{r.Route(s, d)}
+	} else {
+		res = r.RouteK(s, d, k)
+	}
+	snap.release(r)
+	if e.cache != nil {
+		// Tag the entry with the generation that computed it: if a swap
+		// raced this query, the entry is already stale and the next
+		// lookup discards it.
+		e.cache.put(key, snap.gen, res)
+	}
+	e.met.observe(res[0].Category, time.Since(start))
+	return res, false, snap.gen
+}
+
+// Ingest feeds new trajectories into the served router without
+// blocking queries: it deep-clones the current router, ingests into the
+// clone, and atomically publishes the clone as the next generation.
+// Concurrent Ingest calls serialize; queries keep reading the previous
+// generation until the swap.
+func (e *Engine) Ingest(ts []*traj.Trajectory) core.IngestStats {
+	st, _ := e.ingest(ts, e.opt.Ingest)
+	return st
+}
+
+// ingest additionally reports the generation it published — reading
+// Generation() afterwards could observe a later concurrent swap.
+func (e *Engine) ingest(ts []*traj.Trajectory, opt core.IngestOptions) (core.IngestStats, uint64) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	start := time.Now()
+	cur := e.snap.Load()
+	next := cur.base.DeepClone()
+	st := next.Ingest(ts, opt)
+	e.snap.Store(newSnapshot(next, cur.gen+1))
+	e.lastSwapUnix.Store(time.Now().UnixNano())
+	e.lastIngestNs.Store(int64(time.Since(start)))
+	e.ingests.Add(1)
+	e.ingestedTrajs.Add(uint64(len(ts)))
+	return st, cur.gen + 1
+}
+
+// Publish swaps in an externally built router (e.g. after a full
+// offline rebuild when ingest reports RebuildRecommended) as the next
+// generation. The engine takes ownership of r.
+func (e *Engine) Publish(r *core.Router) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	cur := e.snap.Load()
+	e.snap.Store(newSnapshot(r, cur.gen+1))
+	e.lastSwapUnix.Store(time.Now().UnixNano())
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/roadnet"
+	"repro/internal/serve"
 	"repro/internal/traj"
 )
 
@@ -148,3 +149,28 @@ type IngestStats = core.IngestStats
 // Load reconstructs a router from an artifact written by Router.Save.
 // See core.Load.
 func Load(r io.Reader) (*Router, error) { return core.Load(r) }
+
+// Serving re-exports. See the internal/serve package for full
+// documentation of the snapshot-swapping design.
+type (
+	// Engine serves a built Router to concurrent query traffic:
+	// lock-free snapshot reads, a sharded LRU route cache with
+	// generation-based invalidation, copy-on-write live ingestion, a
+	// batch API, and an HTTP front-end via Engine.Handler.
+	Engine = serve.Engine
+	// ServeOptions configures an Engine (workers, cache size/shards,
+	// ingest tuning).
+	ServeOptions = serve.Options
+	// ServeStats is a point-in-time snapshot of serving health: QPS,
+	// latency quantiles per query category, cache hit rate, snapshot
+	// generation and ingest lag.
+	ServeStats = serve.Stats
+	// BatchRequest is one query in an Engine.RouteBatch call.
+	BatchRequest = serve.Request
+	// BatchResponse is the answer to one BatchRequest.
+	BatchResponse = serve.Response
+)
+
+// NewEngine wraps a built router for concurrent online serving. The
+// engine takes ownership of r; don't mutate it afterwards.
+func NewEngine(r *Router, opt ServeOptions) *Engine { return serve.NewEngine(r, opt) }
