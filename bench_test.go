@@ -578,6 +578,39 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
+// --- PathEngine backends ---------------------------------------------------
+
+// BenchmarkFastestDijkstra measures uncached scalar fastest-path
+// queries on the plain Dijkstra PathEngine — the primitive behind
+// Case 2 approach searches, fastest fallbacks and null-preference
+// connectors on the serving hot path.
+func BenchmarkFastestDijkstra(b *testing.B) {
+	w := benchWorld(b)
+	qs := benchQueries(b)
+	var eng route.PathEngine = route.NewEngine(w.Road)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		eng.Fastest(q.S, q.D)
+	}
+}
+
+// BenchmarkFastestCH measures the same uncached queries on the
+// CH-backed PathEngine (hierarchy preprocessed outside the timer,
+// shortcut unpacking included). The ratio to BenchmarkFastestDijkstra
+// is the speed-up the serving layer gains per uncached fastest-path
+// search when -path-engine=ch.
+func BenchmarkFastestCH(b *testing.B) {
+	w := benchWorld(b)
+	qs := benchQueries(b)
+	var eng route.PathEngine = route.BuildCHEngine(w.Road, roadnet.TT, ch.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		eng.Fastest(q.S, q.D)
+	}
+}
+
 // BenchmarkServe measures online serving throughput on a Zipf-skewed
 // query mix — the scale-free popularity profile of real road traffic,
 // where a few hot OD pairs dominate. Three configurations:
@@ -590,9 +623,15 @@ func BenchmarkIngest(b *testing.B) {
 //     parallel speed-up).
 //   - EngineWarmCache: the serve engine with its route cache warm on
 //     the same Zipf mix — the steady state of a hot serving shard.
+//
+// The *CH variants rerun the uncached configurations with the
+// contraction-hierarchy path backend, so the speed-up of the pluggable
+// engine is measured end to end through the serving stack.
 func BenchmarkServe(b *testing.B) {
 	w := benchWorld(b)
 	r := w.MustRouter()
+	chRouter := r.DeepClone()
+	chRouter.EnableCH(ch.Config{})
 	qs := benchQueries(b)
 
 	// Pre-draw a deterministic Zipf-ranked index stream: rank 0 (the
@@ -612,8 +651,28 @@ func BenchmarkServe(b *testing.B) {
 		}
 	})
 
+	b.Run("RouterDirectCH", func(b *testing.B) {
+		single := chRouter.Clone()
+		for i := 0; i < b.N; i++ {
+			q := qs[mix[i%len(mix)]]
+			single.Route(q.S, q.D)
+		}
+	})
+
 	b.Run("EngineColdCache", func(b *testing.B) {
 		e := serve.NewEngine(r.DeepClone(), serve.Options{CacheSize: -1})
+		var next int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(atomic.AddInt64(&next, 1))
+				q := qs[mix[i%len(mix)]]
+				e.Route(q.S, q.D)
+			}
+		})
+	})
+
+	b.Run("EngineColdCacheCH", func(b *testing.B) {
+		e := serve.NewEngine(chRouter.DeepClone(), serve.Options{CacheSize: -1})
 		var next int64
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {

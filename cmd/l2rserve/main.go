@@ -8,8 +8,8 @@
 //
 // Usage:
 //
-//	l2rserve -artifact router.l2r [-addr :8080]
-//	l2rserve [-net n1|n2|tiny] [-trips N] [-seed N] [-addr :8080]
+//	l2rserve -artifact router.l2r [-addr :8080] [-path-engine dijkstra|ch]
+//	l2rserve [-net n1|n2|tiny] [-trips N] [-seed N] [-addr :8080] [-path-engine dijkstra|ch]
 //
 // Endpoints:
 //
@@ -48,10 +48,21 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "route cache capacity in entries (negative disables)")
 	cacheShards := flag.Int("cache-shards", 16, "route cache shard count")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	pathEngine := flag.String("path-engine", "dijkstra", "shortest-path backend: dijkstra or ch (contraction hierarchy, built once at startup)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 
-	router, err := loadRouter(*artifact, *network, *trips, *seed)
+	var backend l2r.PathBackend
+	switch *pathEngine {
+	case "dijkstra":
+		backend = l2r.BackendDijkstra
+	case "ch":
+		backend = l2r.BackendCH
+	default:
+		log.Fatalf("unknown -path-engine %q (want dijkstra or ch)", *pathEngine)
+	}
+
+	router, err := loadRouter(*artifact, *network, *trips, *seed, backend)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +74,15 @@ func main() {
 		Workers:     *workers,
 		CacheSize:   *cacheSize,
 		CacheShards: *cacheShards,
+		PathBackend: backend,
 	})
+	if backend == l2r.BackendCH {
+		st = router.Stats()
+		log.Printf("path engine: contraction hierarchy (%d shortcuts, built in %s)",
+			st.CHShortcuts, st.CHBuildTime.Round(time.Millisecond))
+	} else {
+		log.Printf("path engine: dijkstra")
+	}
 	srv := &http.Server{Addr: *addr, Handler: engine.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -88,7 +107,10 @@ func main() {
 }
 
 // loadRouter either loads a saved artifact or builds a synthetic world.
-func loadRouter(artifact, network string, trips int, seed int64) (*l2r.Router, error) {
+// For synthetic builds the backend is passed to Build so B-edge
+// materialization already runs on it; loaded artifacts are upgraded by
+// the serve engine (ServeOptions.PathBackend) instead.
+func loadRouter(artifact, network string, trips int, seed int64, backend l2r.PathBackend) (*l2r.Router, error) {
 	if artifact != "" {
 		f, err := os.Open(artifact)
 		if err != nil {
@@ -117,5 +139,5 @@ func loadRouter(artifact, network string, trips int, seed int64) (*l2r.Router, e
 	log.Printf("no artifact: building synthetic %s world (%d trips, seed %d)", network, trips, seed)
 	all := traj.NewSimulator(g, cfg).Run()
 	train, _ := traj.Split(all, 0.75*cfg.HorizonSec)
-	return l2r.Build(g, train, l2r.Options{SkipMapMatching: true})
+	return l2r.Build(g, train, l2r.Options{SkipMapMatching: true, PathBackend: backend})
 }

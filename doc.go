@@ -20,6 +20,28 @@
 //	curl -X POST localhost:8080/ingest -d '{"paths":[[1,2,3]]}'
 //	curl localhost:8080/stats
 //
+// # Architecture: the PathEngine seam
+//
+// Every shortest-path consumer — unified routing (Case 2 approach
+// searches, fastest fallbacks, connector stitching), serving,
+// baselines, the trajectory simulator and the experiment harness —
+// programs against internal/route.PathEngine, a pluggable backend.
+// route.Engine is plain Dijkstra (plus the paper's Algorithm 2);
+// route.CHEngine answers scalar fastest paths through a contraction
+// hierarchy (internal/ch) with shortcut unpacking and falls back to
+// Dijkstra for preference-constrained and custom-cost searches. Select
+// with l2r.Options{PathBackend: l2r.BackendCH} at build time,
+// l2r.ServeOptions{PathBackend: l2r.BackendCH} when serving a loaded
+// artifact, or l2rserve -path-engine ch.
+//
+// The concurrency contract: an engine serves one goroutine; Fork()
+// returns a sibling sharing the immutable built state (road network,
+// CH hierarchy) with fresh, lazily allocated query state. Router.Clone
+// and the serve snapshot pools fork instead of allocating per-vertex
+// search arrays per clone, and the hierarchy built once at Build (or
+// EnableCH) time is carried through Clone, DeepClone and copy-on-write
+// ingest swaps.
+//
 // # Verifying
 //
 // The tier-1 check is:

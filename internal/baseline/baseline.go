@@ -24,12 +24,19 @@ type Algorithm interface {
 	Route(q Query) roadnet.Path
 }
 
-// Shortest returns minimum-distance paths via Dijkstra.
-type Shortest struct{ eng *route.Engine }
+// Shortest returns minimum-distance paths through the configured path
+// engine (plain Dijkstra by default).
+type Shortest struct{ eng route.PathEngine }
 
 // NewShortest returns the Shortest baseline over g.
 func NewShortest(g *roadnet.Graph) *Shortest {
-	return &Shortest{eng: route.NewEngine(g)}
+	return NewShortestWith(route.NewEngine(g))
+}
+
+// NewShortestWith returns the Shortest baseline over an arbitrary path
+// engine (e.g. a CH-backed one).
+func NewShortestWith(eng route.PathEngine) *Shortest {
+	return &Shortest{eng: eng}
 }
 
 // Name implements Algorithm.
@@ -41,12 +48,20 @@ func (s *Shortest) Route(q Query) roadnet.Path {
 	return p
 }
 
-// Fastest returns minimum-travel-time paths via Dijkstra.
-type Fastest struct{ eng *route.Engine }
+// Fastest returns minimum-travel-time paths through the configured path
+// engine (plain Dijkstra by default).
+type Fastest struct{ eng route.PathEngine }
 
 // NewFastest returns the Fastest baseline over g.
 func NewFastest(g *roadnet.Graph) *Fastest {
-	return &Fastest{eng: route.NewEngine(g)}
+	return NewFastestWith(route.NewEngine(g))
+}
+
+// NewFastestWith returns the Fastest baseline over an arbitrary path
+// engine (e.g. a CH-backed one, matching the paper's remark that
+// speed-up techniques accelerate all compared algorithms consistently).
+func NewFastestWith(eng route.PathEngine) *Fastest {
+	return &Fastest{eng: eng}
 }
 
 // Name implements Algorithm.

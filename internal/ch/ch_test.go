@@ -2,102 +2,16 @@ package ch
 
 import (
 	"math"
-	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"repro/internal/geo"
 	"repro/internal/roadnet"
-	"repro/internal/route"
 )
 
-// buildTestGraphs returns a mix of structured and random road networks.
-func buildTestGraphs(tb testing.TB) []*roadnet.Graph {
-	tb.Helper()
-	return []*roadnet.Graph{
-		roadnet.GenerateGrid(8, 8, 150, roadnet.Residential),
-		roadnet.Generate(roadnet.Tiny(7)),
-		randomGraph(rand.New(rand.NewSource(11)), 60, 150),
-	}
-}
-
-// randomGraph builds a connected-ish random directed graph: a ring for
-// base connectivity plus m random extra edges of varying road types.
-func randomGraph(rng *rand.Rand, n, m int) *roadnet.Graph {
-	b := roadnet.NewBuilder()
-	for i := 0; i < n; i++ {
-		b.AddVertex(geo.Point{X: rng.Float64() * 5000, Y: rng.Float64() * 5000})
-	}
-	for i := 0; i < n; i++ {
-		b.AddRoad(roadnet.VertexID(i), roadnet.VertexID((i+1)%n), roadnet.Tertiary)
-	}
-	for i := 0; i < m; i++ {
-		u := roadnet.VertexID(rng.Intn(n))
-		v := roadnet.VertexID(rng.Intn(n))
-		if u == v {
-			continue
-		}
-		t := roadnet.RoadType(rng.Intn(int(roadnet.NumRoadTypes)))
-		b.AddEdge(u, v, t)
-	}
-	return b.Build()
-}
-
-// TestCostMatchesDijkstra verifies that CH query costs equal plain
-// Dijkstra costs for every weight on several graphs and many pairs.
-func TestCostMatchesDijkstra(t *testing.T) {
-	for gi, g := range buildTestGraphs(t) {
-		eng := route.NewEngine(g)
-		for _, w := range []roadnet.Weight{roadnet.DI, roadnet.TT, roadnet.FC} {
-			h := Build(g, w, Config{})
-			q := NewQuery(h)
-			rng := rand.New(rand.NewSource(int64(gi)*100 + int64(w)))
-			for trial := 0; trial < 60; trial++ {
-				s := roadnet.VertexID(rng.Intn(g.NumVertices()))
-				d := roadnet.VertexID(rng.Intn(g.NumVertices()))
-				_, want, okD := eng.Route(s, d, w)
-				got, okC := q.Cost(s, d)
-				if okD != okC {
-					t.Fatalf("graph %d w %v (%d->%d): reachability CH=%v dijkstra=%v", gi, w, s, d, okC, okD)
-				}
-				if !okD {
-					continue
-				}
-				if math.Abs(got-want) > 1e-6*(1+want) {
-					t.Errorf("graph %d w %v (%d->%d): cost CH=%g dijkstra=%g", gi, w, s, d, got, want)
-				}
-			}
-		}
-	}
-}
-
-// TestRouteUnpacksValidPath verifies that unpacked CH paths are
-// connected in the original graph and their cost matches the reported
-// query cost.
-func TestRouteUnpacksValidPath(t *testing.T) {
-	for gi, g := range buildTestGraphs(t) {
-		h := Build(g, roadnet.TT, Config{})
-		q := NewQuery(h)
-		rng := rand.New(rand.NewSource(int64(gi) + 42))
-		for trial := 0; trial < 40; trial++ {
-			s := roadnet.VertexID(rng.Intn(g.NumVertices()))
-			d := roadnet.VertexID(rng.Intn(g.NumVertices()))
-			p, cost, ok := q.Route(s, d)
-			if !ok {
-				continue
-			}
-			if !p.Valid(g) {
-				t.Fatalf("graph %d (%d->%d): invalid unpacked path %v", gi, s, d, p)
-			}
-			if p[0] != s || p[len(p)-1] != d {
-				t.Fatalf("graph %d: path endpoints %v..%v, want %v..%v", gi, p[0], p[len(p)-1], s, d)
-			}
-			if pc := p.Cost(g, roadnet.TT); math.Abs(pc-cost) > 1e-6*(1+cost) {
-				t.Errorf("graph %d (%d->%d): path cost %g != query cost %g", gi, s, d, pc, cost)
-			}
-		}
-	}
-}
+// White-box tests of the hierarchy invariants. Tests comparing CH
+// against the route package's Dijkstra live in ch_ext_test.go (external
+// test package): route now provides a CH-backed PathEngine, so an
+// in-package import of route would be a cycle.
 
 // TestSameSourceDest checks the degenerate s == d query.
 func TestSameSourceDest(t *testing.T) {
@@ -189,36 +103,6 @@ func TestUpwardProperty(t *testing.T) {
 	}
 }
 
-// TestQuickRandomGraphEquivalence is a property test: on arbitrary
-// random graphs and pairs, CH and Dijkstra agree.
-func TestQuickRandomGraphEquivalence(t *testing.T) {
-	f := func(seed int64, pairSeed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 12 + rng.Intn(30)
-		g := randomGraph(rng, n, n*2)
-		h := Build(g, roadnet.DI, Config{WitnessHopLimit: 16})
-		q := NewQuery(h)
-		eng := route.NewEngine(g)
-		prng := rand.New(rand.NewSource(pairSeed))
-		for i := 0; i < 10; i++ {
-			s := roadnet.VertexID(prng.Intn(n))
-			d := roadnet.VertexID(prng.Intn(n))
-			_, want, okD := eng.Route(s, d, roadnet.DI)
-			got, okC := q.Cost(s, d)
-			if okD != okC {
-				return false
-			}
-			if okD && math.Abs(got-want) > 1e-6*(1+want) {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
-		t.Fatal(err)
-	}
-}
-
 // TestShortcutsReported sanity-checks the Shortcuts counter.
 func TestShortcutsReported(t *testing.T) {
 	g := roadnet.GenerateGrid(6, 6, 100, roadnet.Residential)
@@ -229,33 +113,4 @@ func TestShortcutsReported(t *testing.T) {
 	if h.Weight() != roadnet.DI {
 		t.Fatalf("Weight() = %v, want DI", h.Weight())
 	}
-}
-
-// BenchmarkCHQueryVsDijkstra is used via the root bench harness too;
-// here it provides a package-local comparison point.
-func BenchmarkCHQueryVsDijkstra(b *testing.B) {
-	g := roadnet.Generate(roadnet.Tiny(5))
-	h := Build(g, roadnet.TT, Config{})
-	q := NewQuery(h)
-	eng := route.NewEngine(g)
-	rng := rand.New(rand.NewSource(1))
-	pairs := make([][2]roadnet.VertexID, 256)
-	for i := range pairs {
-		pairs[i] = [2]roadnet.VertexID{
-			roadnet.VertexID(rng.Intn(g.NumVertices())),
-			roadnet.VertexID(rng.Intn(g.NumVertices())),
-		}
-	}
-	b.Run("CH", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			p := pairs[i%len(pairs)]
-			q.Cost(p[0], p[1])
-		}
-	})
-	b.Run("Dijkstra", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			p := pairs[i%len(pairs)]
-			eng.Route(p[0], p[1], roadnet.TT)
-		}
-	})
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ch"
 	"repro/internal/cluster"
 	"repro/internal/geo"
 	"repro/internal/mapmatch"
@@ -22,6 +23,33 @@ import (
 	"repro/internal/traj"
 	"repro/internal/transfer"
 )
+
+// PathBackend selects the route.PathEngine implementation every routing
+// consumer of a Router runs on — the architectural seam speed-up
+// techniques plug into.
+type PathBackend uint8
+
+// Path backends.
+const (
+	// BackendDijkstra is plain Dijkstra for every query (the original
+	// behaviour).
+	BackendDijkstra PathBackend = iota
+	// BackendCH accelerates scalar fastest-path queries — Case 2
+	// approach searches, fastest fallbacks, null-preference connectors
+	// — with a contraction hierarchy built once at Build (or EnableCH)
+	// time and shared, immutable, by every Clone and serving fork.
+	// Preference-constrained searches still run Algorithm 2's modified
+	// Dijkstra, which shortcut arcs cannot express.
+	BackendCH
+)
+
+// String implements fmt.Stringer.
+func (b PathBackend) String() string {
+	if b == BackendCH {
+		return "ch"
+	}
+	return "dijkstra"
+}
 
 // ClusterMethod selects the region-construction algorithm. The paper's
 // modularity clustering is the default; the related-work methods of
@@ -74,6 +102,13 @@ type Options struct {
 	// label; below it the fastest-path behaviour stands in (default
 	// 0.7; set negative to disable gating).
 	MinConfidence float64
+	// PathBackend selects the shortest-path engine (default plain
+	// Dijkstra; BackendCH builds a contraction hierarchy once at Build
+	// time and serves scalar fastest paths through it).
+	PathBackend PathBackend
+	// CH tunes contraction-hierarchy preprocessing when PathBackend is
+	// BackendCH; the zero value is usable.
+	CH ch.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -108,17 +143,23 @@ type Stats struct {
 	LearnTime       time.Duration
 	TransferTime    time.Duration
 	MaterializeTime time.Duration
+	// CHBuildTime and CHShortcuts record contraction-hierarchy
+	// preprocessing when the CH path backend is enabled.
+	CHBuildTime time.Duration
+	CHShortcuts int
 }
 
 // Router is a built L2R system, ready to answer routing queries.
 // Building happens once offline; Route is comparatively cheap.
 //
 // Concurrency: a single Router is not safe for concurrent use — every
-// query method reuses the per-vertex buffers of its route.Engine. The
+// query method reuses the per-query state of its route.PathEngine. The
 // query methods (Route, RouteK, Categorize, and the read-only accessors)
 // mutate nothing beyond that engine state, so independent Clones may
 // answer queries concurrently as long as nothing mutates the shared
-// built state. Ingest and EnableMultiPreferences DO mutate shared state
+// built state: Clone forks only the engine's query state, while the
+// road network, the spatial index and any CH hierarchy stay shared and
+// immutable. Ingest and EnableMultiPreferences DO mutate shared state
 // (the region graph's path sets and preferences, the learned map) and
 // must never run concurrently with queries on the same Router or on any
 // Clone sharing its region graph; for live ingestion under traffic, use
@@ -126,7 +167,7 @@ type Stats struct {
 type Router struct {
 	road  *roadnet.Graph
 	rg    *region.Graph
-	eng   *route.Engine
+	eng   route.PathEngine
 	idx   *spatial.Index
 	stats Stats
 	// learned maps T-edge ID -> learned preference result.
@@ -159,9 +200,14 @@ func (r *Router) LearnedPreference(edgeID int) (pref.Result, bool) {
 // The clone shares the region graph and preference maps with r: safe for
 // concurrent *queries*, but Ingest through either handle would mutate
 // state visible to both. Use DeepClone when the copy must be mutated.
+//
+// Clone is cheap: it forks the path engine's query state (allocated
+// lazily on first query), sharing the immutable road network and any CH
+// hierarchy — the serving layer's per-snapshot clone pools rely on
+// this.
 func (r *Router) Clone() *Router {
 	cp := *r
-	cp.eng = route.NewEngine(r.road)
+	cp.eng = r.eng.Fork()
 	return &cp
 }
 
@@ -174,7 +220,7 @@ func (r *Router) Clone() *Router {
 // path, then atomically publish the clone.
 func (r *Router) DeepClone() *Router {
 	cp := *r
-	cp.eng = route.NewEngine(r.road)
+	cp.eng = r.eng.Fork()
 	cp.rg = r.rg.Clone()
 	cp.learned = make(map[int]pref.Result, len(r.learned))
 	for k, v := range r.learned {
@@ -293,13 +339,57 @@ func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Rout
 		}
 	}
 
+	// Path engine: built before materialization so B-edge fastest-path
+	// construction already runs on the selected backend. With BackendCH
+	// the hierarchy is preprocessed exactly once here and shared by
+	// every Clone, DeepClone and serving fork of this router.
+	r.eng = newPathEngine(road, opt, &r.stats)
+
 	// Phase 3: materialize B-edge paths.
 	start = time.Now()
-	transfer.Materialize(rg, res, &engineFinder{eng: route.NewEngine(road)})
+	transfer.Materialize(rg, res, &pathFinder{eng: r.eng.Fork()})
 	r.stats.MaterializeTime = time.Since(start)
 
-	r.eng = route.NewEngine(road)
 	return r, nil
+}
+
+// newPathEngine constructs the backend Options.PathBackend selects,
+// recording preprocessing cost in st.
+func newPathEngine(road *roadnet.Graph, opt Options, st *Stats) route.PathEngine {
+	if opt.PathBackend == BackendCH {
+		start := time.Now()
+		e := route.BuildCHEngine(road, roadnet.TT, opt.CH)
+		st.CHBuildTime = time.Since(start)
+		st.CHShortcuts = e.Hierarchy().Shortcuts()
+		return e
+	}
+	return route.NewEngine(road)
+}
+
+// PathBackend reports which shortest-path backend the router runs on.
+func (r *Router) PathBackend() PathBackend {
+	if _, ok := r.eng.(*route.CHEngine); ok {
+		return BackendCH
+	}
+	return BackendDijkstra
+}
+
+// EnableCH swaps the router's path engine for a CH-backed one, building
+// the travel-time contraction hierarchy over the road network. It is
+// meant for routers restored with Load — artifacts carry no hierarchy —
+// and is a no-op when the router is already CH-backed. It must not be
+// called concurrently with queries; Clones made afterwards share the
+// hierarchy. The build time is returned (and recorded in Stats).
+func (r *Router) EnableCH(cfg ch.Config) time.Duration {
+	if r.PathBackend() == BackendCH {
+		return 0
+	}
+	start := time.Now()
+	e := route.BuildCHEngine(r.road, roadnet.TT, cfg)
+	r.stats.CHBuildTime = time.Since(start)
+	r.stats.CHShortcuts = e.Hierarchy().Shortcuts()
+	r.eng = e
+	return r.stats.CHBuildTime
 }
 
 // sortLabeled orders labeled edges by ID for deterministic matrices.
@@ -311,14 +401,16 @@ func sortLabeled(ls []transfer.Labeled) {
 	}
 }
 
-type engineFinder struct{ eng *route.Engine }
+// pathFinder adapts a route.PathEngine to the transfer.Materialize
+// finder interface.
+type pathFinder struct{ eng route.PathEngine }
 
-func (f *engineFinder) FindPath(p pref.Preference, s, d roadnet.VertexID) (roadnet.Path, bool) {
+func (f *pathFinder) FindPath(p pref.Preference, s, d roadnet.VertexID) (roadnet.Path, bool) {
 	path, _, ok := f.eng.RoutePref(s, d, p.Master, p.Slave.Predicate())
 	return path, ok
 }
 
-func (f *engineFinder) FastestPath(s, d roadnet.VertexID) (roadnet.Path, bool) {
+func (f *pathFinder) FastestPath(s, d roadnet.VertexID) (roadnet.Path, bool) {
 	path, _, ok := f.eng.Fastest(s, d)
 	return path, ok
 }

@@ -51,7 +51,10 @@ func (r *Router) Save(w io.Writer) error {
 }
 
 // Load reconstructs a router from an artifact written by Save. The
-// result answers queries exactly like the original.
+// result answers queries exactly like the original. Artifacts carry no
+// contraction hierarchy; the restored router is Dijkstra-backed — call
+// EnableCH to rebuild the hierarchy (seconds, not the minutes of a full
+// offline build).
 func Load(rd io.Reader) (*Router, error) {
 	var env envelope
 	if err := codec.ReadFrame(rd, ArtifactVersion, &env); err != nil {

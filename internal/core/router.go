@@ -284,12 +284,7 @@ func (r *Router) regionSearch(rs, rd int) ([]int, bool) {
 		// Direct-edge shortcut: when an edge to the destination region
 		// exists, always use it.
 		if e := r.rg.FindEdge(cur, rd); e != nil {
-			if !visited[rd] || parent[rd] == -1 {
-				parent[rd] = cur
-				visited[rd] = true
-			} else {
-				parent[rd] = cur
-			}
+			parent[rd] = cur
 			break
 		}
 		for _, ei := range r.rg.EdgesOf(cur) {
@@ -341,8 +336,13 @@ func (r *Router) mapRegionPath(regPath []int, sv, dv roadnet.VertexID) (roadnet.
 		seg, ok := r.pickEdgePath(e, from, cur)
 		if !ok {
 			// No stored path (e.g. unmaterializable B-edge): route
-			// straight to a transfer center of the next region.
+			// straight to a transfer center of the next region. A region
+			// can end up with none (e.g. a degenerate memberless region
+			// in a restored snapshot); stitching is impossible then.
 			tcs := r.rg.TransferCenters(to)
+			if len(tcs) == 0 {
+				return nil, false
+			}
 			seg2, ok2 := r.connector(e, cur, tcs[0])
 			if !ok2 {
 				return nil, false

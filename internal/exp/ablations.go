@@ -196,9 +196,12 @@ type CHRow struct {
 	Speedup     float64
 }
 
-// CHSpeedupCompute builds contraction hierarchies for each travel-cost
+// CHSpeedupCompute builds a CH-backed PathEngine for each travel-cost
 // weight and measures the query speed-up over plain Dijkstra — the
-// "interesting future research direction" of Section VII-C.
+// "interesting future research direction" of Section VII-C. Both sides
+// run through the route.PathEngine seam and return full (unpacked)
+// paths, so the comparison is exactly what the serving layer sees when
+// core.Options.PathBackend switches backends.
 func CHSpeedupCompute(w *World, queries int) []CHRow {
 	eng := route.NewEngine(w.Road)
 	rng := rand.New(rand.NewSource(99))
@@ -212,13 +215,13 @@ func CHSpeedupCompute(w *World, queries int) []CHRow {
 	var rows []CHRow
 	for _, weight := range []roadnet.Weight{roadnet.DI, roadnet.TT, roadnet.FC} {
 		start := time.Now()
-		h := ch.Build(w.Road, weight, ch.Config{})
+		che := route.BuildCHEngine(w.Road, weight, ch.Config{})
 		build := time.Since(start)
-		q := ch.NewQuery(h)
+		h := che.Hierarchy()
 
 		start = time.Now()
 		for _, p := range pairs {
-			q.Cost(p[0], p[1])
+			che.Route(p[0], p[1], weight)
 		}
 		chNs := float64(time.Since(start).Nanoseconds()) / float64(len(pairs))
 

@@ -207,10 +207,14 @@ func (g *Graph) InnerPaths(r int) []InnerPath { return g.inner[r] }
 
 // TransferCenters returns region r's transfer centers, most used first.
 // Regions never visited by trajectories fall back to their member vertex
-// closest to the centroid.
+// closest to the centroid; a memberless region (possible in restored or
+// hand-built snapshots) has none and yields an empty list.
 func (g *Graph) TransferCenters(r int) []roadnet.VertexID {
 	if len(g.transferCenters[r]) > 0 {
 		return g.transferCenters[r]
+	}
+	if len(g.Regions[r].Members) == 0 {
+		return nil
 	}
 	best := g.Regions[r].Members[0]
 	bd := g.Road.Point(best).Dist(g.centroids[r])

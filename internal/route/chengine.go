@@ -1,0 +1,97 @@
+package route
+
+import (
+	"repro/internal/ch"
+	"repro/internal/roadnet"
+)
+
+// CHEngine is a PathEngine that answers scalar queries under one weight
+// (typically roadnet.TT, the fastest path) through a contraction
+// hierarchy — the speed-up technique the paper names as the way to
+// accelerate all compared algorithms consistently (Section VII-C) — and
+// falls back to plain Dijkstra for everything the hierarchy cannot
+// answer: other scalar weights, preference-constrained searches
+// (Algorithm 2 restricts edge relaxation per settled vertex, which
+// shortcut arcs cannot express) and custom cost functions.
+//
+// The hierarchy is immutable and shared by every Fork; each fork owns
+// only query state (a bidirectional ch.Query context and a lazy
+// fallback Engine), both allocated on first use. One fork per
+// goroutine, as for every PathEngine.
+type CHEngine struct {
+	g *roadnet.Graph
+	h *ch.Hierarchy
+
+	q   *ch.Query // lazy per-fork bidirectional search context
+	dij *Engine   // lazy per-fork Dijkstra fallback
+}
+
+// NewCHEngine wraps a prebuilt hierarchy over g. The hierarchy's weight
+// decides which scalar queries are CH-accelerated.
+func NewCHEngine(g *roadnet.Graph, h *ch.Hierarchy) *CHEngine {
+	return &CHEngine{g: g, h: h}
+}
+
+// BuildCHEngine preprocesses a contraction hierarchy for weight w over g
+// and returns the engine. Build once, Fork per goroutine.
+func BuildCHEngine(g *roadnet.Graph, w roadnet.Weight, cfg ch.Config) *CHEngine {
+	return NewCHEngine(g, ch.Build(g, w, cfg))
+}
+
+// Graph implements PathEngine.
+func (c *CHEngine) Graph() *roadnet.Graph { return c.g }
+
+// Hierarchy returns the shared contraction hierarchy.
+func (c *CHEngine) Hierarchy() *ch.Hierarchy { return c.h }
+
+// Fork implements PathEngine: the returned engine shares the hierarchy
+// and graph; query state is allocated on first use.
+func (c *CHEngine) Fork() PathEngine { return NewCHEngine(c.g, c.h) }
+
+func (c *CHEngine) query() *ch.Query {
+	if c.q == nil {
+		c.q = ch.NewQuery(c.h)
+	}
+	return c.q
+}
+
+func (c *CHEngine) fallback() *Engine {
+	if c.dij == nil {
+		c.dij = NewEngine(c.g)
+	}
+	return c.dij
+}
+
+// Route implements PathEngine: the hierarchy answers its own weight
+// (with shortcut unpacking); other weights fall back to Dijkstra.
+func (c *CHEngine) Route(s, d roadnet.VertexID, w roadnet.Weight) (roadnet.Path, float64, bool) {
+	if w == c.h.Weight() {
+		return c.query().Route(s, d)
+	}
+	return c.fallback().Route(s, d, w)
+}
+
+// Fastest implements PathEngine.
+func (c *CHEngine) Fastest(s, d roadnet.VertexID) (roadnet.Path, float64, bool) {
+	return c.Route(s, d, roadnet.TT)
+}
+
+// Shortest implements PathEngine.
+func (c *CHEngine) Shortest(s, d roadnet.VertexID) (roadnet.Path, float64, bool) {
+	return c.Route(s, d, roadnet.DI)
+}
+
+// RoutePref implements PathEngine. A nil slave under the hierarchy's
+// weight is a plain scalar query and takes the CH fast path; any actual
+// preference constraint runs the fallback's Algorithm 2.
+func (c *CHEngine) RoutePref(s, d roadnet.VertexID, w roadnet.Weight, slave SlavePredicate) (roadnet.Path, float64, bool) {
+	if slave == nil && w == c.h.Weight() {
+		return c.query().Route(s, d)
+	}
+	return c.fallback().RoutePref(s, d, w, slave)
+}
+
+// CustomRoute implements PathEngine via the Dijkstra fallback.
+func (c *CHEngine) CustomRoute(s, d roadnet.VertexID, cost func(roadnet.EdgeID) float64) (roadnet.Path, float64, bool) {
+	return c.fallback().CustomRoute(s, d, cost)
+}

@@ -1,0 +1,100 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/roadnet"
+)
+
+// TestCHEngineMatchesDijkstra is the cross-engine equivalence property
+// test: over random OD pairs on the synthetic network, the CH-backed
+// Fastest must return exactly the cost plain Dijkstra returns, and a
+// valid connected path between the endpoints whose edge costs sum to
+// the reported cost.
+func TestCHEngineMatchesDijkstra(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(7))
+	che := BuildCHEngine(g, roadnet.TT, ch.Config{})
+	dij := NewEngine(g)
+	rng := rand.New(rand.NewSource(42))
+	n := g.NumVertices()
+
+	const pairs = 200
+	checked := 0
+	for i := 0; i < pairs; i++ {
+		s := roadnet.VertexID(rng.Intn(n))
+		d := roadnet.VertexID(rng.Intn(n))
+		cp, cc, cok := che.Fastest(s, d)
+		dp, dc, dok := dij.Fastest(s, d)
+		if cok != dok {
+			t.Fatalf("pair %d (%d->%d): CH reachable=%v, Dijkstra reachable=%v", i, s, d, cok, dok)
+		}
+		if !cok {
+			continue
+		}
+		checked++
+		if diff := math.Abs(cc - dc); diff > 1e-6*(1+math.Abs(dc)) {
+			t.Fatalf("pair %d (%d->%d): CH cost %g != Dijkstra cost %g", i, s, d, cc, dc)
+		}
+		assertValidPath(t, g, cp, s, d, cc)
+		assertValidPath(t, g, dp, s, d, dc)
+	}
+	if checked < pairs/2 {
+		t.Fatalf("only %d of %d pairs were routable; network too disconnected for the property to bite", checked, pairs)
+	}
+}
+
+// assertValidPath checks p runs s..d over existing edges and that its
+// travel-time cost matches the reported cost.
+func assertValidPath(t *testing.T, g *roadnet.Graph, p roadnet.Path, s, d roadnet.VertexID, cost float64) {
+	t.Helper()
+	if len(p) == 0 || p[0] != s || p[len(p)-1] != d {
+		t.Fatalf("path endpoints %v do not match query %d->%d", p, s, d)
+	}
+	var sum float64
+	for i := 1; i < len(p); i++ {
+		e := g.FindEdge(p[i-1], p[i])
+		if e == roadnet.NoEdge {
+			t.Fatalf("path step %d: no edge %d->%d in the road network", i, p[i-1], p[i])
+		}
+		sum += g.EdgeWeight(e, roadnet.TT)
+	}
+	if diff := math.Abs(sum - cost); diff > 1e-6*(1+math.Abs(cost)) {
+		t.Fatalf("path cost %g does not match reported cost %g", sum, cost)
+	}
+}
+
+// TestCHEngineForkSharesHierarchy checks Fork reuses the hierarchy and
+// answers identically, and that preference-constrained queries fall
+// back to Dijkstra results.
+func TestCHEngineForkSharesHierarchy(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(3))
+	base := BuildCHEngine(g, roadnet.TT, ch.Config{})
+	fork, ok := base.Fork().(*CHEngine)
+	if !ok {
+		t.Fatalf("Fork returned %T, want *CHEngine", base.Fork())
+	}
+	if fork.Hierarchy() != base.Hierarchy() {
+		t.Fatal("Fork did not share the hierarchy")
+	}
+	dij := NewEngine(g)
+	rng := rand.New(rand.NewSource(9))
+	n := g.NumVertices()
+	slave := func(rt roadnet.RoadType) bool { return rt == roadnet.Motorway || rt == roadnet.Trunk }
+	for i := 0; i < 40; i++ {
+		s := roadnet.VertexID(rng.Intn(n))
+		d := roadnet.VertexID(rng.Intn(n))
+		_, fc, fok := fork.Fastest(s, d)
+		_, bc, bok := base.Fastest(s, d)
+		if fok != bok || (fok && fc != bc) {
+			t.Fatalf("fork and base disagree on %d->%d: (%g,%v) vs (%g,%v)", s, d, fc, fok, bc, bok)
+		}
+		cp, cc, cok := fork.RoutePref(s, d, roadnet.DI, slave)
+		dp, dc, dok := dij.RoutePref(s, d, roadnet.DI, slave)
+		if cok != dok || (cok && (math.Abs(cc-dc) > 1e-9 || len(cp) != len(dp))) {
+			t.Fatalf("RoutePref fallback diverged on %d->%d", s, d)
+		}
+	}
+}

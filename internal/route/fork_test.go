@@ -1,0 +1,51 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/ch"
+	"repro/internal/roadnet"
+)
+
+// TestForkIsLazy pins the allocation contract snapshot clone pools rely
+// on: a freshly constructed or forked Engine owns no per-vertex arrays
+// until its first query.
+func TestForkIsLazy(t *testing.T) {
+	g := roadnet.Generate(roadnet.Tiny(2))
+	e := NewEngine(g)
+	if e.dist != nil || e.heap != nil {
+		t.Fatal("NewEngine allocated query buffers eagerly")
+	}
+	f, ok := e.Fork().(*Engine)
+	if !ok {
+		t.Fatalf("Fork returned %T", e.Fork())
+	}
+	if f.dist != nil || f.heap != nil {
+		t.Fatal("Fork allocated query buffers eagerly")
+	}
+	if _, _, ok := f.Fastest(0, roadnet.VertexID(g.NumVertices()-1)); !ok {
+		t.Skip("vertices disconnected; pick of endpoints unlucky")
+	}
+	if len(f.dist) != g.NumVertices() {
+		t.Fatalf("first query allocated %d-vertex buffers, want %d", len(f.dist), g.NumVertices())
+	}
+	if e.dist != nil {
+		t.Fatal("fork's first query touched the parent engine's state")
+	}
+
+	che := BuildCHEngine(g, roadnet.TT, ch.Config{})
+	cf, ok := che.Fork().(*CHEngine)
+	if !ok {
+		t.Fatalf("CH Fork returned %T", che.Fork())
+	}
+	if cf.q != nil || cf.dij != nil {
+		t.Fatal("CHEngine.Fork allocated query state eagerly")
+	}
+	cf.Fastest(0, roadnet.VertexID(g.NumVertices()-1))
+	if cf.q == nil {
+		t.Fatal("CH query state not allocated on first use")
+	}
+	if cf.dij != nil {
+		t.Fatal("scalar fastest query should not allocate the Dijkstra fallback")
+	}
+}

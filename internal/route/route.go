@@ -23,7 +23,10 @@ import (
 type SlavePredicate func(roadnet.RoadType) bool
 
 // Engine runs shortest-path queries over a fixed graph, reusing internal
-// buffers across queries.
+// buffers across queries. The buffers are allocated lazily on the first
+// query, so constructing (or Forking) an Engine costs a small struct;
+// per-vertex arrays are only paid by engines that actually run a query.
+// Snapshot clone pools rely on this to make cloning cheap.
 type Engine struct {
 	g *roadnet.Graph
 
@@ -40,23 +43,34 @@ type Engine struct {
 	PopCount int64
 }
 
-// NewEngine returns an Engine for g.
+// NewEngine returns an Engine for g. Query buffers are allocated on
+// first use.
 func NewEngine(g *roadnet.Graph) *Engine {
-	n := g.NumVertices()
-	return &Engine{
-		g:       g,
-		dist:    make([]float64, n),
-		parent:  make([]roadnet.EdgeID, n),
-		visited: make([]uint32, n),
-		settled: make([]uint32, n),
-		heap:    container.NewIndexedMinHeap(n),
-	}
+	return &Engine{g: g}
 }
 
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *roadnet.Graph { return e.g }
 
+// Fork returns a fresh Engine over the same graph with independent
+// (lazily allocated) query state, implementing PathEngine.
+func (e *Engine) Fork() PathEngine { return NewEngine(e.g) }
+
+// ensure allocates the per-vertex query buffers on first use.
+func (e *Engine) ensure() {
+	if e.dist != nil {
+		return
+	}
+	n := e.g.NumVertices()
+	e.dist = make([]float64, n)
+	e.parent = make([]roadnet.EdgeID, n)
+	e.visited = make([]uint32, n)
+	e.settled = make([]uint32, n)
+	e.heap = container.NewIndexedMinHeap(n)
+}
+
 func (e *Engine) reset() {
+	e.ensure()
 	e.epoch++
 	if e.epoch == 0 { // wrapped; clear marks
 		for i := range e.visited {

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestServeCHBackend checks ServeOptions.PathBackend upgrades a
+// Dijkstra-backed router before serving, that concurrent CH-backed
+// queries agree with the Dijkstra-backed engine, and that the backend
+// survives a copy-on-write ingest swap.
+func TestServeCHBackend(t *testing.T) {
+	base, fresh := sharedWorld(t)
+
+	dijEng := NewEngine(base.DeepClone(), Options{CacheSize: -1})
+	chRouter := base.DeepClone()
+	chEng := NewEngine(chRouter, Options{CacheSize: -1, PathBackend: core.BackendCH})
+	if chRouter.PathBackend() != core.BackendCH {
+		t.Fatal("NewEngine did not enable the CH backend")
+	}
+
+	qs := queries(fresh, 24)
+	if len(qs) < 4 {
+		t.Skip("not enough queries")
+	}
+	var wg sync.WaitGroup
+	errc := make(chan string, len(qs))
+	for _, q := range qs {
+		q := q
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			want, _ := dijEng.Route(q.Src, q.Dst)
+			got, _ := chEng.Route(q.Src, q.Dst)
+			if want.Evidence != got.Evidence || (len(want.Path) == 0) != (len(got.Path) == 0) {
+				errc <- "CH-backed serve result diverged from Dijkstra-backed"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	if msg, ok := <-errc; ok {
+		t.Fatal(msg)
+	}
+
+	batch := fresh
+	if len(batch) > 10 {
+		batch = batch[:10]
+	}
+	chEng.Ingest(batch)
+	if chEng.Snapshot().PathBackend() != core.BackendCH {
+		t.Fatal("ingest swap dropped the CH backend")
+	}
+	if res, _ := chEng.Route(qs[0].Src, qs[0].Dst); res.Evidence == core.EvidenceNone {
+		t.Fatal("post-ingest CH-backed engine cannot route")
+	}
+}

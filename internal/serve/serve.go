@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ch"
 	"repro/internal/core"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
@@ -45,6 +46,17 @@ type Options struct {
 	CacheShards int
 	// Ingest tunes the copy-on-write trajectory ingestion.
 	Ingest core.IngestOptions
+	// PathBackend selects the shortest-path backend the served router
+	// runs on. With core.BackendCH, a router that is still
+	// Dijkstra-backed (e.g. freshly loaded from an artifact) gets its
+	// contraction hierarchy built once in NewEngine, before traffic;
+	// the hierarchy is immutable and shared by every pool clone and
+	// every ingest swap afterwards.
+	PathBackend core.PathBackend
+	// CH tunes the contraction-hierarchy preprocessing that PathBackend
+	// == core.BackendCH triggers (mirrors core.Options.CH); the zero
+	// value is usable.
+	CH ch.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -61,8 +73,13 @@ func (o Options) withDefaults() Options {
 }
 
 // snapshot is one published generation of the router. The pool hands
-// out per-goroutine clones (cheap: a fresh search engine over shared
-// built state) so concurrent queries never share engine buffers.
+// out per-goroutine clones so concurrent queries never share engine
+// query state. A clone is a fork of the router's route.PathEngine: the
+// immutable built state — road network, spatial index, CH hierarchy —
+// is shared across every clone of the snapshot, and per-vertex search
+// buffers are deferred to a clone's first query, so creating a pool
+// entry costs a struct and only entries that actually serve traffic
+// (and only the search kinds they serve) pay for arrays.
 type snapshot struct {
 	base *core.Router
 	gen  uint64
@@ -101,6 +118,11 @@ type Engine struct {
 // ownership: the caller must not mutate r (or Clones of it) afterwards.
 func NewEngine(r *core.Router, opt Options) *Engine {
 	opt = opt.withDefaults()
+	if opt.PathBackend == core.BackendCH {
+		// One-time preprocessing before the snapshot is published; a
+		// no-op when the router was already built with BackendCH.
+		r.EnableCH(opt.CH)
+	}
 	e := &Engine{opt: opt, start: time.Now()}
 	if opt.CacheSize > 0 {
 		e.cache = newRouteCache(opt.CacheSize, opt.CacheShards)

@@ -75,7 +75,7 @@ type Simulator struct {
 	cfg SimConfig
 	g   *roadnet.Graph
 	rng *rand.Rand
-	eng *route.Engine
+	eng route.PathEngine
 
 	hubs       []geo.Point
 	hubMembers [][]roadnet.VertexID
