@@ -683,6 +683,43 @@ func BenchmarkServe(b *testing.B) {
 		})
 	})
 
+	// Coalescing: duplicate-heavy traffic hitting *cold* keys — a herd
+	// of parallel goroutines walks the query list in windows of 64, so
+	// every fresh OD pair is requested by many goroutines at once
+	// before any cache entry exists. The computes/od metric is the
+	// collapse: ~1 route computation per unique OD with singleflight
+	// (the default). The NoCoalesce contrast needs real parallelism to
+	// stampede — on GOMAXPROCS=1 the serialized herd is absorbed by the
+	// cache alone and both variants report ~1.
+	for _, variant := range []struct {
+		name       string
+		noCoalesce bool
+	}{{"EngineColdHerdCoalesce", false}, {"EngineColdHerdNoCoalesce", true}} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			e := serve.NewEngine(r.DeepClone(), serve.Options{
+				CacheSize:  1 << 16,
+				NoCoalesce: variant.noCoalesce,
+			})
+			var next int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					q := qs[(i/64)%len(qs)]
+					e.Route(q.S, q.D)
+				}
+			})
+			b.StopTimer()
+			uniques := (b.N + 63) / 64
+			if uniques > len(qs) {
+				uniques = len(qs)
+			}
+			st := e.Stats()
+			b.ReportMetric(float64(st.RouteComputations)/float64(uniques), "computes/od")
+			b.ReportMetric(float64(st.CoalescedQueries), "coalesced")
+		})
+	}
+
 	b.Run("EngineWarmCache", func(b *testing.B) {
 		e := serve.NewEngine(r.DeepClone(), serve.Options{CacheSize: 1 << 15})
 		for _, i := range mix {
@@ -704,6 +741,75 @@ func BenchmarkServe(b *testing.B) {
 		if total := hits + st.CacheMisses - warm.CacheMisses; total > 0 {
 			b.ReportMetric(100*float64(hits)/float64(total), "hit%")
 		}
+	})
+}
+
+// BenchmarkFleet measures multi-tenant serving: the per-query cost of
+// tenant lookup + engine dispatch with several worlds behind one
+// registry, and the hot-swap (Publish) that replaces one tenant's
+// artifact under traffic.
+func BenchmarkFleet(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	qs := benchQueries(b)
+	tenants := []string{"acity", "bcity", "ccity"}
+
+	newFleet := func(b *testing.B) *serve.Fleet {
+		f := serve.NewFleet(serve.Options{CacheSize: 1 << 14})
+		for _, name := range tenants {
+			if _, err := f.Add(name, r.DeepClone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return f
+	}
+
+	b.Run("RouteAcrossTenants", func(b *testing.B) {
+		f := newFleet(b)
+		var next int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(atomic.AddInt64(&next, 1))
+				e, ok := f.Get(tenants[i%len(tenants)])
+				if !ok {
+					b.Error("tenant lookup failed")
+					return
+				}
+				q := qs[i%len(qs)]
+				e.Route(q.S, q.D)
+			}
+		})
+	})
+
+	b.Run("HotSwapUnderTraffic", func(b *testing.B) {
+		f := newFleet(b)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					e, _ := f.Get(tenants[g%len(tenants)])
+					q := qs[(i*13+g)%len(qs)]
+					e.Route(q.S, q.D)
+				}
+			}(g)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Publish("acity", r.DeepClone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
 	})
 }
 

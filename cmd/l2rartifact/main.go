@@ -61,6 +61,7 @@ func cmdBuild(args []string) {
 	trips := fs.Int("trips", 2000, "number of training trajectories")
 	seed := fs.Int64("seed", 1, "world seed")
 	match := fs.Bool("match", false, "run the GPS map-matching pipeline")
+	name := fs.String("name", "", "world name stamped into the artifact metadata (tenant name in fleet serving)")
 	fs.Parse(args)
 
 	g, cfg := world(*network, *seed, *trips)
@@ -69,6 +70,9 @@ func cmdBuild(args []string) {
 	r, err := l2r.Build(g, ts, l2r.Options{SkipMapMatching: !*match})
 	if err != nil {
 		fatalf("build: %v", err)
+	}
+	if *name != "" {
+		r.SetName(*name)
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -91,7 +95,20 @@ func cmdInspect(args []string) {
 	r := load(*in)
 	st := r.Stats()
 	rg := r.RegionGraph()
+	meta := r.Meta()
 	fmt.Printf("artifact %s\n", *in)
+	if meta.Name != "" {
+		fmt.Printf("  name:         %s\n", meta.Name)
+	}
+	if meta.Generation == 0 {
+		// Pre-metadata (v1) artifacts load fine but carry no meta.
+		fmt.Printf("  metadata:     none (v1 artifact)\n")
+	} else {
+		fmt.Printf("  generation:   %d (saved %s)\n", meta.Generation,
+			time.Unix(0, meta.SavedUnixNano).Format(time.RFC3339))
+		fmt.Printf("  built with:   backend %s, clustering %s, min confidence %.2f\n",
+			meta.Build.PathBackend, meta.Build.ClusterMethod, meta.Build.MinConfidence)
+	}
 	fmt.Printf("  road network: %d vertices, %d edges\n", r.Road().NumVertices(), r.Road().NumEdges())
 	fmt.Printf("  regions:      %d\n", st.Regions)
 	fmt.Printf("  T-edges:      %d\n", rg.TEdgeCount())

@@ -1,23 +1,33 @@
-// Command l2rserve serves a built L2R router over HTTP: concurrent
-// routing queries with a sharded result cache, live trajectory
-// ingestion via copy-on-write snapshot swaps, and serving metrics.
+// Command l2rserve serves built L2R routers over HTTP: concurrent
+// routing queries with a sharded result cache and singleflight
+// request coalescing, live trajectory ingestion via copy-on-write
+// snapshot swaps, and serving metrics.
 //
-// A deployment loads an artifact produced by l2rartifact (paying the
-// offline build once); without -artifact the server builds a synthetic
-// world on startup, which is handy for demos and load tests.
+// A deployment loads artifacts produced by l2rartifact (paying the
+// offline build once). Three modes:
 //
-// Usage:
+//	l2rserve -artifact router.l2r          one world, single-tenant API
+//	l2rserve -artifact-dir artifacts/      one tenant per *.l2r file,
+//	                                       hot-reloaded on change
+//	l2rserve [-net n1|n2|tiny] [-trips N]  synthetic world (demos,
+//	                                       load tests)
 //
-//	l2rserve -artifact router.l2r [-addr :8080] [-path-engine dijkstra|ch]
-//	l2rserve [-net n1|n2|tiny] [-trips N] [-seed N] [-addr :8080] [-path-engine dijkstra|ch]
-//
-// Endpoints:
+// Single-tenant endpoints:
 //
 //	GET  /route?src=S&dst=D
 //	GET  /route/alternatives?src=S&dst=D&k=K
 //	POST /ingest                 {"paths": [[v0,v1,...], ...]}
 //	GET  /stats
 //	GET  /healthz
+//
+// In fleet mode (-artifact-dir) the same endpoints nest under
+// /t/{tenant}/ (tenant = artifact file name sans .l2r), and the
+// fleet adds GET /tenants, aggregate GET /stats and GET /healthz.
+// The directory is rescanned every -reload interval: new *.l2r files
+// become tenants, and a file whose mtime or size changed is reloaded
+// and atomically swapped into the live fleet without dropping
+// in-flight queries — drop a rebuilt artifact into the directory and
+// its tenant picks it up.
 //
 // The server drains in-flight requests on SIGINT/SIGTERM.
 package main
@@ -42,6 +52,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	artifact := flag.String("artifact", "", "router artifact to serve (from l2rartifact / Router.Save)")
+	artifactDir := flag.String("artifact-dir", "", "serve every *.l2r in this directory as a tenant (fleet mode, hot-reloaded)")
+	reload := flag.Duration("reload", 5*time.Second, "artifact-dir rescan interval (fleet mode)")
 	network := flag.String("net", "n2", "synthetic network when no artifact: n1, n2 or tiny")
 	trips := flag.Int("trips", 1500, "synthetic training trajectories when no artifact")
 	seed := flag.Int64("seed", 1, "synthetic world seed")
@@ -62,6 +74,18 @@ func main() {
 		log.Fatalf("unknown -path-engine %q (want dijkstra or ch)", *pathEngine)
 	}
 
+	opt := l2r.ServeOptions{
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		CacheShards: *cacheShards,
+		PathBackend: backend,
+	}
+
+	if *artifactDir != "" {
+		serveFleet(*addr, *artifactDir, *reload, *drain, opt)
+		return
+	}
+
 	router, err := loadRouter(*artifact, *network, *trips, *seed, backend)
 	if err != nil {
 		log.Fatal(err)
@@ -70,12 +94,7 @@ func main() {
 	log.Printf("router ready: %d vertices, %d regions, %d T-edges, %d B-edges",
 		router.Road().NumVertices(), st.Regions, st.TEdges, st.BEdges)
 
-	engine := l2r.NewEngine(router, l2r.ServeOptions{
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		CacheShards: *cacheShards,
-		PathBackend: backend,
-	})
+	engine := l2r.NewEngine(router, opt)
 	if backend == l2r.BackendCH {
 		st = router.Stats()
 		log.Printf("path engine: contraction hierarchy (%d shortcuts, built in %s)",
@@ -83,27 +102,67 @@ func main() {
 	} else {
 		log.Printf("path engine: dijkstra")
 	}
-	srv := &http.Server{Addr: *addr, Handler: engine.Handler()}
+	log.Printf("serving on %s (cache %d entries / %d shards)", *addr, *cacheSize, *cacheShards)
+	serveAndDrain(*addr, engine.Handler(), *drain, nil)
+	final := engine.Stats()
+	log.Printf("served %d queries (%.1f qps, cache hit rate %.1f%%, %d coalesced, generation %d, %d ingests)",
+		final.Queries, final.QPS, 100*final.CacheHitRate, final.CoalescedQueries,
+		final.SnapshotGeneration, final.Ingests)
+}
 
+// serveFleet runs the multi-tenant mode: every *.l2r in dir is a
+// tenant, hot-reloaded on change while the fleet serves.
+func serveFleet(addr, dir string, reload, drain time.Duration, opt l2r.ServeOptions) {
+	fleet := l2r.NewFleet(opt)
+	watcher := l2r.NewFleetWatcher(fleet, dir)
+	watcher.Logf = log.Printf
+	loaded, _, failed := watcher.Scan()
+	if loaded == 0 {
+		log.Fatalf("no loadable *%s artifacts in %s (%d failed)", l2r.ArtifactExt, dir, failed)
+	}
+	for _, name := range fleet.Names() {
+		e, _ := fleet.Get(name)
+		snap := e.Snapshot()
+		log.Printf("tenant %q: %d vertices, %d regions (artifact generation %d)",
+			name, snap.Road().NumVertices(), snap.Stats().Regions, snap.Meta().Generation)
+	}
+
+	log.Printf("serving fleet of %d tenants on %s (rescan every %v): /t/{tenant}/route, /tenants, /stats",
+		fleet.Len(), addr, reload)
+	serveAndDrain(addr, fleet.Handler(), drain, func(ctx context.Context) {
+		watcher.Watch(ctx, reload)
+	})
+	final := fleet.Stats()
+	log.Printf("served %d queries across %d tenants (%.1f qps, cache hit rate %.1f%%, %d coalesced, %d ingests)",
+		final.Queries, final.Tenants, final.QPS, 100*final.CacheHitRate,
+		final.CoalescedQueries, final.Ingests)
+}
+
+// serveAndDrain runs an HTTP server until SIGINT/SIGTERM, then drains
+// in-flight requests for up to the drain timeout. Signal handling is
+// installed here — after the offline build/loading work — so Ctrl-C
+// during a minutes-long startup still kills the process immediately.
+// background, when non-nil, runs alongside the server and is stopped
+// by the same signal.
+func serveAndDrain(addr string, h http.Handler, drain time.Duration, background func(context.Context)) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if background != nil {
+		go background(ctx)
+	}
+	srv := &http.Server{Addr: addr, Handler: h}
 	go func() {
-		log.Printf("serving on %s (cache %d entries / %d shards)", *addr, *cacheSize, *cacheShards)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("listen: %v", err)
 		}
 	}()
-
 	<-ctx.Done()
-	log.Printf("shutting down, draining for up to %v", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("shutting down, draining for up to %v", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	final := engine.Stats()
-	log.Printf("served %d queries (%.1f qps, cache hit rate %.1f%%, generation %d, %d ingests)",
-		final.Queries, final.QPS, 100*final.CacheHitRate, final.SnapshotGeneration, final.Ingests)
 }
 
 // loadRouter either loads a saved artifact or builds a synthetic world.

@@ -7,18 +7,47 @@
 // benchmark suite (bench_test.go), which regenerates every table and
 // figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
 //
+// # Where to read
+//
+// ARCHITECTURE.md maps the paper's three offline steps and the online
+// serving layer to packages, with the data flow and the
+// concurrency/snapshot contract in one place. Every internal package
+// carries a doc.go; the load-bearing ones are internal/core (pipeline
+// assembly, unified routing, persistence), internal/serve (snapshot
+// swapping, cache, coalescing, fleet), internal/route (the PathEngine
+// seam), internal/region (the mutable region graph) and internal/pref
+// (the preference model). examples/README.md indexes the runnable
+// examples.
+//
 // # Serving
 //
 // Beyond the offline pipeline, internal/serve (re-exported as
 // l2r.Engine) serves a built router to concurrent traffic: lock-free
 // snapshot reads, copy-on-write live ingestion, a sharded LRU route
-// cache with generation-based invalidation, and serving metrics.
-// cmd/l2rserve wraps it in an HTTP server:
+// cache with generation-based invalidation, singleflight coalescing of
+// concurrent duplicate queries, and serving metrics. cmd/l2rserve
+// wraps it in an HTTP server:
 //
 //	go run ./cmd/l2rserve -net tiny -trips 400 &
 //	curl 'localhost:8080/route?src=1&dst=50'
 //	curl -X POST localhost:8080/ingest -d '{"paths":[[1,2,3]]}'
 //	curl localhost:8080/stats
+//
+// # Multi-tenant fleets
+//
+// The paper builds one region graph per city, so production runs many
+// routers. l2r.Fleet (internal/serve.Fleet) hosts one named engine per
+// world behind tenant-addressed HTTP routes, and a fleet watcher
+// hot-reloads artifacts from a directory — a rebuilt *.l2r dropped in
+// is atomically swapped into the live fleet without dropping in-flight
+// queries:
+//
+//	go run ./cmd/l2rserve -artifact-dir artifacts/ &
+//	curl 'localhost:8080/t/acity/route?src=1&dst=50'
+//	curl localhost:8080/tenants
+//	curl localhost:8080/stats
+//
+// See examples/fleet for the full walkthrough.
 //
 // # Architecture: the PathEngine seam
 //

@@ -1,0 +1,5 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation (Section VII-C/D): cost-centric Shortest and Fastest
+// routing, the two personalized routing algorithms Dom [26] and
+// TRIP [27], and a stand-in for the Google Directions web service.
+package baseline

@@ -1,0 +1,6 @@
+// Package cluster implements Section IV-A of the paper: the trajectory
+// graph (road-network vertices and edges actually traversed by
+// trajectories, weighted by popularity), modularity gain, and the
+// bottom-up agglomerative clustering of Algorithm 1 that groups vertices
+// into regions under the road-type constraint of Table I.
+package cluster

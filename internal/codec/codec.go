@@ -1,21 +1,3 @@
-// Package codec provides the framed, checksummed gob container used to
-// persist built L2R routing infrastructure. The offline pipeline of the
-// paper (clustering, preference learning, transfer) takes minutes to
-// hours at scale — Section VII-C reports up to 245 minutes for D1 — so
-// a production deployment builds once and ships the artifact; this
-// package defines that artifact's on-disk framing.
-//
-// Frame layout:
-//
-//	magic   [4]byte  "L2RA"
-//	version uint16   big-endian, supplied by the caller
-//	length  uint64   big-endian payload byte count
-//	sum     uint64   big-endian FNV-64a of the payload
-//	payload []byte   gob stream
-//
-// Readers verify magic, version, length and checksum before decoding,
-// so truncated or corrupted artifacts fail loudly instead of yielding a
-// half-initialized router.
 package codec
 
 import (
@@ -64,33 +46,50 @@ func WriteFrame(w io.Writer, version uint16, payload any) error {
 // ReadFrame reads one frame, verifies integrity and decodes the payload
 // into out (a pointer).
 func ReadFrame(r io.Reader, version uint16, out any) error {
+	_, err := ReadFrameVersions(r, out, version)
+	return err
+}
+
+// ReadFrameVersions reads one frame accepting any of the listed
+// versions — for readers whose payload type decodes older envelope
+// layouts compatibly (gob ignores absent fields). It returns the
+// version actually found.
+func ReadFrameVersions(r io.Reader, out any, versions ...uint16) (uint16, error) {
 	var header [4 + 2 + 8 + 8]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return fmt.Errorf("codec: reading header: %w", err)
+		return 0, fmt.Errorf("codec: reading header: %w", err)
 	}
 	if !bytes.Equal(header[:4], magic[:]) {
-		return ErrBadMagic
+		return 0, ErrBadMagic
 	}
-	if v := binary.BigEndian.Uint16(header[4:6]); v != version {
-		return fmt.Errorf("%w: artifact v%d, reader v%d", ErrBadVersion, v, version)
+	version := binary.BigEndian.Uint16(header[4:6])
+	supported := false
+	for _, v := range versions {
+		if version == v {
+			supported = true
+			break
+		}
+	}
+	if !supported {
+		return 0, fmt.Errorf("%w: artifact v%d, reader accepts v%v", ErrBadVersion, version, versions)
 	}
 	n := binary.BigEndian.Uint64(header[6:14])
 	want := binary.BigEndian.Uint64(header[14:22])
 	const maxPayload = 1 << 34 // 16 GiB sanity bound
 	if n > maxPayload {
-		return fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, n)
+		return 0, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("%w: short payload: %v", ErrCorrupt, err)
+		return 0, fmt.Errorf("%w: short payload: %v", ErrCorrupt, err)
 	}
 	h := fnv.New64a()
 	h.Write(payload)
 	if h.Sum64() != want {
-		return ErrCorrupt
+		return 0, ErrCorrupt
 	}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
-		return fmt.Errorf("codec: decoding payload: %w", err)
+		return 0, fmt.Errorf("codec: decoding payload: %w", err)
 	}
-	return nil
+	return version, nil
 }

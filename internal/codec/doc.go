@@ -1,0 +1,19 @@
+// Package codec provides the framed, checksummed gob container used to
+// persist built L2R routing infrastructure. The offline pipeline of the
+// paper (clustering, preference learning, transfer) takes minutes to
+// hours at scale — Section VII-C reports up to 245 minutes for D1 — so
+// a production deployment builds once and ships the artifact; this
+// package defines that artifact's on-disk framing.
+//
+// Frame layout:
+//
+//	magic   [4]byte  "L2RA"
+//	version uint16   big-endian, supplied by the caller
+//	length  uint64   big-endian payload byte count
+//	sum     uint64   big-endian FNV-64a of the payload
+//	payload []byte   gob stream
+//
+// Readers verify magic, version, length and checksum before decoding,
+// so truncated or corrupted artifacts fail loudly instead of yielding a
+// half-initialized router.
+package codec

@@ -1,12 +1,3 @@
-// Package container provides the indexed priority queues used by the
-// routing algorithms (Dijkstra and its preference-aware variant) and by
-// the modularity-based clustering algorithm, which repeatedly extracts the
-// most popular vertex and re-inserts merged aggregates.
-//
-// Both queues are addressable: entries are keyed by a dense non-negative
-// integer item ID, and priorities can be decreased/increased in place,
-// which plain container/heap does not give us without extra bookkeeping
-// at every call site.
 package container
 
 // IndexedMinHeap is a binary min-heap over items identified by dense

@@ -1,8 +1,3 @@
-// Package core assembles the paper's three steps into the learn-to-route
-// (L2R) system: trajectory-based region-graph construction (Section IV),
-// preference learning and transfer (Section V), and unified routing for
-// arbitrary (source, destination) pairs (Section VI). The exported l2r
-// package at the repository root is a thin facade over this package.
 package core
 
 import (
@@ -55,6 +50,18 @@ func (b PathBackend) String() string {
 // modularity clustering is the default; the related-work methods of
 // Section II are available for end-to-end ablations.
 type ClusterMethod uint8
+
+// String implements fmt.Stringer.
+func (m ClusterMethod) String() string {
+	switch m {
+	case ClusterGrid:
+		return "grid"
+	case ClusterHierarchy:
+		return "hierarchy"
+	default:
+		return "modularity"
+	}
+}
 
 // Clustering methods.
 const (
@@ -170,6 +177,7 @@ type Router struct {
 	eng   route.PathEngine
 	idx   *spatial.Index
 	stats Stats
+	meta  ArtifactMeta
 	// learned maps T-edge ID -> learned preference result.
 	learned map[int]pref.Result
 	// regionPrefs maps region ID -> preference learned from the
@@ -189,6 +197,15 @@ func (r *Router) Road() *roadnet.Graph { return r.road }
 
 // Stats returns offline pipeline statistics.
 func (r *Router) Stats() Stats { return r.stats }
+
+// Meta returns the router's artifact metadata: its name, the options
+// it was built with, and the save generation of its lineage (0 until
+// the first Save).
+func (r *Router) Meta() ArtifactMeta { return r.meta }
+
+// SetName names the router's world (a city, a tenant); the name is
+// persisted by Save and keys the router in multi-tenant fleets.
+func (r *Router) SetName(name string) { r.meta.Name = name }
 
 // LearnedPreference returns the learned preference for a T-edge ID.
 func (r *Router) LearnedPreference(edgeID int) (pref.Result, bool) {
@@ -252,6 +269,14 @@ func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Rout
 
 	r := &Router{road: road, idx: spatial.NewIndex(road, opt.IndexCellM)}
 	r.stats.Trajectories = len(training)
+	r.meta.Build = BuildInfo{
+		PathBackend:     opt.PathBackend.String(),
+		ClusterMethod:   opt.ClusterMethod.String(),
+		SkipMapMatching: opt.SkipMapMatching,
+		MinConfidence:   opt.MinConfidence,
+		LearnMaxPaths:   opt.LearnMaxPaths,
+		IndexCellM:      opt.IndexCellM,
+	}
 
 	// Phase 0: map matching (parallel).
 	start := time.Now()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/pref"
@@ -15,12 +16,58 @@ import (
 
 // ArtifactVersion is the on-disk format version of saved routers. Bump
 // it on any change to the envelope layout.
-const ArtifactVersion uint16 = 1
+//
+// Version history: v1 carried no metadata; v2 added ArtifactMeta
+// (name, build-options summary, save generation). The v2 reader still
+// loads v1 artifacts — the envelope change is gob-compatible, Meta
+// just stays zero — so existing deployments' artifacts keep working.
+const ArtifactVersion uint16 = 2
+
+// artifactVersionV1 is the pre-metadata envelope version Load accepts
+// for backward compatibility.
+const artifactVersionV1 uint16 = 1
+
+// BuildInfo is the compact summary of the Options a router was built
+// with, persisted in every artifact so a deployment can audit what it
+// is serving without access to the build script.
+type BuildInfo struct {
+	// PathBackend and ClusterMethod are the String() forms of the
+	// build-time selections.
+	PathBackend   string
+	ClusterMethod string
+	// SkipMapMatching, MinConfidence, LearnMaxPaths and IndexCellM
+	// mirror the same-named Options fields (post-default resolution).
+	SkipMapMatching bool
+	MinConfidence   float64
+	LearnMaxPaths   int
+	IndexCellM      float64
+}
+
+// ArtifactMeta travels with a saved router: who it is (a tenant or
+// deployment name), how it was built, and which save generation of its
+// build lineage the file carries. The multi-tenant serving layer keys
+// hot-reloaded artifacts on it.
+type ArtifactMeta struct {
+	// Name identifies the artifact's world — a city or tenant. Empty
+	// until SetName; fleet loaders fall back to the file name.
+	Name string
+	// Generation counts saves of this build lineage: Build starts it at
+	// 0, every Save stamps and records generation+1. An artifact
+	// rebuilt (or re-ingested) and re-saved therefore carries a higher
+	// generation than its predecessor — the signal a hot-reload watcher
+	// surfaces when it swaps the file into a live fleet.
+	Generation uint64
+	// SavedUnixNano is the wall-clock save time.
+	SavedUnixNano int64
+	// Build summarizes the build-time options.
+	Build BuildInfo
+}
 
 // envelope is the gob payload of a saved router. The road network is
 // embedded as its TSV serialization (the already-tested roadnet codec)
 // so an artifact is self-contained.
 type envelope struct {
+	Meta        ArtifactMeta
 	RoadTSV     []byte
 	Region      *region.Snapshot
 	Learned     map[int]pref.Result
@@ -34,12 +81,19 @@ type envelope struct {
 // self-contained, checksummed artifact. The offline build takes minutes
 // at scale (Section VII-C reports 21+245+106+7 minutes for D1); Save
 // and Load let a deployment pay it once.
+// Save also advances the artifact metadata: the written envelope (and,
+// on success, the router) carries Meta().Generation + 1 and a fresh
+// save timestamp.
 func (r *Router) Save(w io.Writer) error {
 	var road bytes.Buffer
 	if err := roadnet.WriteTSV(&road, r.road); err != nil {
 		return fmt.Errorf("core: serializing road network: %w", err)
 	}
+	meta := r.meta
+	meta.Generation++
+	meta.SavedUnixNano = time.Now().UnixNano()
 	env := envelope{
+		Meta:        meta,
 		RoadTSV:     road.Bytes(),
 		Region:      r.rg.Snapshot(),
 		Learned:     r.learned,
@@ -47,7 +101,11 @@ func (r *Router) Save(w io.Writer) error {
 		Stats:       r.stats,
 		IndexCellM:  r.idx.CellSize(),
 	}
-	return codec.WriteFrame(w, ArtifactVersion, &env)
+	if err := codec.WriteFrame(w, ArtifactVersion, &env); err != nil {
+		return err
+	}
+	r.meta = meta
+	return nil
 }
 
 // Load reconstructs a router from an artifact written by Save. The
@@ -57,7 +115,7 @@ func (r *Router) Save(w io.Writer) error {
 // offline build).
 func Load(rd io.Reader) (*Router, error) {
 	var env envelope
-	if err := codec.ReadFrame(rd, ArtifactVersion, &env); err != nil {
+	if _, err := codec.ReadFrameVersions(rd, &env, ArtifactVersion, artifactVersionV1); err != nil {
 		return nil, err
 	}
 	road, err := roadnet.ReadTSV(bytes.NewReader(env.RoadTSV))
@@ -81,6 +139,7 @@ func Load(rd io.Reader) (*Router, error) {
 		eng:         route.NewEngine(road),
 		idx:         spatial.NewIndex(road, cell),
 		stats:       env.Stats,
+		meta:        env.Meta,
 		learned:     env.Learned,
 		regionPrefs: env.RegionPrefs,
 	}

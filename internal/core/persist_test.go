@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/codec"
+	"repro/internal/pref"
+	"repro/internal/region"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -67,6 +69,121 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestArtifactMetaRoundTrip covers the v2 envelope metadata: the name,
+// build-options summary and save generation travel with the artifact,
+// and every Save advances the generation.
+func TestArtifactMetaRoundTrip(t *testing.T) {
+	r := builtRouter(t)
+	r.SetName("beijing")
+	if got := r.Meta().Generation; got != 0 {
+		t.Fatalf("generation before first save = %d, want 0", got)
+	}
+	if bi := r.Meta().Build; bi.PathBackend != "dijkstra" || bi.ClusterMethod != "modularity" || !bi.SkipMapMatching {
+		t.Fatalf("build info not recorded: %+v", bi)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Meta().Generation; got != 1 {
+		t.Fatalf("generation after save = %d, want 1", got)
+	}
+
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := loaded.Meta()
+	if meta.Name != "beijing" {
+		t.Fatalf("loaded name = %q", meta.Name)
+	}
+	if meta.Generation != 1 {
+		t.Fatalf("loaded generation = %d, want 1", meta.Generation)
+	}
+	if meta.SavedUnixNano == 0 {
+		t.Fatal("save timestamp not recorded")
+	}
+	if meta.Build != r.Meta().Build {
+		t.Fatalf("build info did not round-trip: %+v vs %+v", meta.Build, r.Meta().Build)
+	}
+
+	// A rebuilt-and-resaved lineage observably advances: the hot-reload
+	// watcher surfaces exactly this bump.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reloaded.Meta().Generation; got != 2 {
+		t.Fatalf("generation after second save = %d, want 2", got)
+	}
+}
+
+// TestLoadV1Artifact pins backward compatibility: artifacts written by
+// the v1 (pre-metadata) envelope still load — Meta just stays zero.
+func TestLoadV1Artifact(t *testing.T) {
+	r := builtRouter(t)
+
+	// The v1 envelope layout, reconstructed field-for-field. Gob
+	// matches fields by name, so the v2 reader decodes this with Meta
+	// left at its zero value.
+	type envelopeV1 struct {
+		RoadTSV     []byte
+		Region      *region.Snapshot
+		Learned     map[int]pref.Result
+		RegionPrefs map[int]pref.Result
+		Stats       Stats
+		IndexCellM  float64
+	}
+	var road bytes.Buffer
+	if err := roadnet.WriteTSV(&road, r.road); err != nil {
+		t.Fatal(err)
+	}
+	env := envelopeV1{
+		RoadTSV:     road.Bytes(),
+		Region:      r.rg.Snapshot(),
+		Learned:     r.learned,
+		RegionPrefs: r.regionPrefs,
+		Stats:       r.stats,
+		IndexCellM:  r.idx.CellSize(),
+	}
+	var buf bytes.Buffer
+	if err := codec.WriteFrame(&buf, artifactVersionV1, &env); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 artifact no longer loads: %v", err)
+	}
+	if loaded.Meta() != (ArtifactMeta{}) {
+		t.Fatalf("v1 artifact loaded with non-zero meta: %+v", loaded.Meta())
+	}
+	if loaded.rg.NumRegions() != r.rg.NumRegions() {
+		t.Fatalf("regions %d != %d", loaded.rg.NumRegions(), r.rg.NumRegions())
+	}
+	s, d := roadnet.VertexID(3), roadnet.VertexID(40)
+	if !samePathCore(loaded.Route(s, d).Path, r.Route(s, d).Path) {
+		t.Fatal("v1-loaded router answers differently")
+	}
+}
+
+func samePathCore(a, b roadnet.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestLoadCorruptArtifact(t *testing.T) {

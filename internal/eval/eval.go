@@ -1,10 +1,3 @@
-// Package eval implements the paper's evaluation harness (Section VII):
-// it runs routing algorithms over test-trajectory queries, scores the
-// answers against ground-truth driver paths with the Eq. 1 and Eq. 4
-// path similarities, measures per-query latency, and aggregates
-// everything by travel-distance bucket and by region category
-// (InRegion / InOutRegion / OutRegion) — the exact breakdowns of
-// Figures 10–13.
 package eval
 
 import (

@@ -1,8 +1,3 @@
-// Package exp implements the paper's experiments (Section VII): each
-// table and figure of the evaluation has a function here that
-// regenerates its rows/series over the synthetic D1-like and D2-like
-// worlds. cmd/l2rexp exposes them on the command line and the repository
-// root bench_test.go wraps each in a testing.B benchmark.
 package exp
 
 import (

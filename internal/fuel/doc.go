@@ -1,0 +1,8 @@
+// Package fuel implements the speed-based vehicular environmental-impact
+// model used to annotate road-network edges with fuel-consumption (FC)
+// weights. The paper computes FC "based on speed limits using vehicular
+// environmental impact models" (Ecomark / Ecomark 2.0). We reproduce the
+// standard shape of such models: consumption per kilometer is a convex
+// function of cruising speed with a minimum in the 60-80 km/h range, plus
+// a per-stop penalty that penalizes low-class roads with intersections.
+package fuel

@@ -1,0 +1,11 @@
+// Package geo provides planar geometry primitives used throughout the
+// learn2route reproduction: points, segments, polylines, convex hulls and
+// the band-matching machinery used to compare way-point paths against
+// ground-truth paths (paper Fig. 14).
+//
+// The synthetic road networks live in a planar rectangle measured in
+// meters, so all distances are Euclidean. This mirrors the paper's setup
+// closely enough: every algorithm in the paper consumes distances only
+// through the road network weight functions and through straight-line
+// distance between region centroids.
+package geo

@@ -1,0 +1,19 @@
+// Package pref implements the paper's routing-preference model
+// (Section V-A).
+//
+// A Preference is two-dimensional: a master travel-cost dimension (DI,
+// TT or FC — distance, travel time, fuel consumption) and a slave
+// road-condition dimension (a set of preferred road types). The
+// package provides the two path-similarity functions the paper
+// evaluates with (Eq. 1 exact-match and Eq. 4 length-weighted), and
+// the coordinate-descent Learner that extracts one representative
+// preference per T-edge (or per region) from its associated path set,
+// reporting a training Similarity that downstream stages use as a
+// confidence gate (core.Options.MinConfidence) before applying a
+// preference at query time or trusting it as a transfer label
+// (internal/transfer).
+//
+// MultiLearn extends the model with secondary preference fits per
+// T-edge (MultiResult) — the paper's future-work item of Section VIII
+// — surfaced as ranked alternatives by core.Router.RouteK.
+package pref

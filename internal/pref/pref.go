@@ -1,10 +1,3 @@
-// Package pref implements the paper's routing-preference model
-// (Section V-A): two-dimensional preference vectors with a master
-// travel-cost dimension (DI, TT or FC) and a slave road-condition
-// dimension (a set of preferred road types), the two path-similarity
-// functions (Eq. 1 and Eq. 4), and the coordinate-descent learning
-// algorithm that extracts one representative preference per T-edge from
-// its associated path set.
 package pref
 
 import (

@@ -1,0 +1,20 @@
+// Package region implements Section IV-B of the paper: the region
+// graph built on top of the clustering output (internal/cluster).
+//
+// Vertices are regions — modularity-clustered sets of road
+// intersections. Region edges are T-edges when trajectories connect
+// the two regions, carrying the trajectory path sets (PathInfo) and
+// transfer centers the later pipeline stages learn from, and B-edges
+// when added by the BFS procedure (ConnectBFS) that makes the region
+// graph connected despite sparse trajectory coverage. Regions also
+// keep inner-region paths for same-region routing (Section VI,
+// Case 1).
+//
+// The region graph is the *mutable* half of a built router: live
+// trajectory ingestion (core.Router.Ingest) appends to path sets,
+// upgrades B-edges to T-edges and relearns preferences. Snapshot and
+// Restore serialize it for artifacts; Clone deep-copies it for the
+// copy-on-write ingestion the serving layer performs. Everything else
+// a router holds (road network, spatial index, CH hierarchy) stays
+// immutable and shared across clones.
+package region

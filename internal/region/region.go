@@ -1,9 +1,3 @@
-// Package region implements Section IV-B of the paper: the region graph
-// built on top of the clustering output. Region edges are T-edges when
-// trajectories connect the two regions (carrying the trajectory path
-// sets and transfer centers) and B-edges when added by the BFS procedure
-// that makes the region graph connected. Regions also keep inner-region
-// paths for same-region routing (Section VI, Case 1).
 package region
 
 import (

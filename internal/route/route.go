@@ -1,13 +1,3 @@
-// Package route implements single-source shortest-path search on road
-// networks: plain Dijkstra under any of the scalar weights (shortest,
-// fastest, most fuel-efficient paths), the paper's preference-aware
-// modified Dijkstra (Algorithm 2), and a stop-condition variant used by
-// the unified routing procedure (Section VI, Case 2) to find the first
-// region reached from an out-of-region endpoint.
-//
-// An Engine owns reusable per-vertex state so repeated queries on the
-// same graph do not reallocate; it is not safe for concurrent use. Use
-// one Engine per goroutine.
 package route
 
 import (

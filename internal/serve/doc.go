@@ -1,0 +1,52 @@
+// Package serve is the online serving subsystem: it takes built (or
+// loaded) core.Routers and exposes them to concurrent query traffic
+// while trajectory ingestion and artifact reloads keep them current in
+// the background. See ARCHITECTURE.md at the repository root for how
+// this package sits on top of the offline pipeline.
+//
+// # Snapshot swapping
+//
+// The design is snapshot swapping. The current router lives behind an
+// atomic pointer; queries load the snapshot, borrow a per-goroutine
+// clone from the snapshot's pool (a core.Router's search engine is
+// single-caller), answer, and return the clone — no locks on the query
+// path. Ingestion is copy-on-write: a single writer deep-clones the
+// current router, ingests the new trajectories into the clone off the
+// query path, and atomically publishes the result as the next
+// generation. Queries racing an ingest simply keep reading the previous
+// generation; nothing blocks and nothing is read mid-mutation. Publish
+// swaps in an externally built router the same way — it is both the
+// full-rebuild path and the hot-artifact-reload path.
+//
+// # Cache and coalescing
+//
+// In front of the snapshot sit two duplicate absorbers. A sharded LRU
+// route cache exploits the heavy skew of real road traffic toward hot
+// OD pairs: repeated queries cost a map lookup, not a graph search.
+// Entries record the generation that produced them and are treated as
+// misses once the snapshot advances, so an ingest that, say, upgrades
+// a B-edge to a T-edge can never serve a stale pre-ingest route. A
+// singleflight group (see flightGroup) collapses *concurrent*
+// duplicates the cache cannot absorb — the cold thundering herd on a
+// hot key after startup or a swap — to one computation whose answer
+// every herd member shares; flights are keyed per generation for the
+// same staleness guarantee.
+//
+// # Multi-tenant fleets
+//
+// The paper builds one region graph per city's trajectory set, so a
+// production deployment runs many routers. A Fleet is a registry of
+// named Engines behind one HTTP front-end: per-tenant caches, flights
+// and metrics; tenant-addressed routes (/t/{tenant}/route, ...);
+// aggregate stats. A Watcher keeps a fleet in sync with a directory of
+// *.l2r artifacts, hot-swapping rebuilt files into the live fleet via
+// the same snapshot machinery — in-flight queries finish on the
+// generation they loaded, and a half-written file fails its checksum
+// and is retried on the next scan instead of dethroning the serving
+// snapshot.
+//
+// Serving metrics (QPS, per-category latency quantiles, cache hit
+// rate, coalesced and computed query counts, snapshot generation,
+// ingest lag) are exposed per engine (Stats) and aggregated per fleet
+// (FleetStats).
+package serve

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// TenantInfo is one row of the /tenants listing.
+type TenantInfo struct {
+	Name string `json:"name"`
+	// SnapshotGeneration is the tenant engine's live generation
+	// (bumps on every ingest or hot swap).
+	SnapshotGeneration uint64 `json:"snapshot_generation"`
+	// ArtifactName/ArtifactGeneration come from the served artifact's
+	// persisted metadata (empty/zero for routers built in-process and
+	// never saved).
+	ArtifactName       string `json:"artifact_name,omitempty"`
+	ArtifactGeneration uint64 `json:"artifact_generation"`
+	Vertices           int    `json:"vertices"`
+	Regions            int    `json:"regions"`
+	Queries            uint64 `json:"queries"`
+}
+
+// Handler returns the fleet's HTTP API. Tenant-addressed routes nest
+// the full single-engine API under /t/{tenant}:
+//
+//	GET  /t/{tenant}/route?src=S&dst=D
+//	GET  /t/{tenant}/route/alternatives?src=S&dst=D&k=K
+//	POST /t/{tenant}/ingest
+//	GET  /t/{tenant}/stats
+//	GET  /t/{tenant}/healthz
+//
+// plus fleet-level routes:
+//
+//	GET  /tenants     tenant listing (generations, artifact metadata)
+//	GET  /stats       aggregate FleetStats
+//	GET  /healthz     liveness + tenant count
+//
+// Requests for tenants not in the registry return 404.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/t/", f.handleTenant)
+	mux.HandleFunc("/tenants", f.handleTenants)
+	mux.HandleFunc("/stats", f.handleStats)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	return mux
+}
+
+// handleTenant routes /t/{tenant}/... to the tenant's engine handler.
+func (f *Fleet) handleTenant(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/t/")
+	name, sub, _ := strings.Cut(rest, "/")
+	if name == "" {
+		writeError(w, http.StatusNotFound, "missing tenant name; use /t/{tenant}/route")
+		return
+	}
+	f.mu.RLock()
+	t, ok := f.tenants[name]
+	f.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", name)
+		return
+	}
+	if sub == "" {
+		// A bare /t/{tenant} would strip to "" and the engine mux would
+		// 301-redirect to the fleet root, losing the tenant context.
+		writeError(w, http.StatusNotFound, "missing endpoint; use /t/%s/route", name)
+		return
+	}
+	t.handler.ServeHTTP(w, r)
+}
+
+func (f *Fleet) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	engines := f.snapshotEngines()
+	infos := make([]TenantInfo, 0, len(engines))
+	for _, name := range sortedNames(engines) {
+		e := engines[name]
+		snap := e.Snapshot()
+		meta := snap.Meta()
+		infos = append(infos, TenantInfo{
+			Name:               name,
+			SnapshotGeneration: e.Generation(),
+			ArtifactName:       meta.Name,
+			ArtifactGeneration: meta.Generation,
+			Vertices:           snap.Road().NumVertices(),
+			Regions:            snap.Stats().Regions,
+			Queries:            e.Stats().Queries,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": infos})
+}
+
+func sortedNames(engines map[string]*Engine) []string {
+	names := make([]string, 0, len(engines))
+	for name := range engines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (f *Fleet) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, f.Stats())
+}
+
+func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	generations := make(map[string]uint64)
+	for name, e := range f.snapshotEngines() {
+		generations[name] = e.Generation()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"tenants":     len(generations),
+		"generations": generations,
+	})
+}

@@ -86,6 +86,34 @@ func TestHTTPRouteValidation(t *testing.T) {
 	}
 }
 
+// TestHTTPAlternativesValidation pins the 400 (never 500, never panic)
+// contract for malformed alternatives queries: missing or non-numeric
+// endpoints, out-of-range vertices, and k outside [1,16] — including
+// k=0 and negative k.
+func TestHTTPAlternativesValidation(t *testing.T) {
+	_, srv := newTestServer(t)
+	_, fresh := sharedWorld(t)
+	q := queries(fresh, 1)[0]
+	for _, bad := range []string{
+		"/route/alternatives?dst=1",                                           // missing src
+		"/route/alternatives?src=1",                                           // missing dst
+		"/route/alternatives?src=&dst=1",                                      // empty src
+		"/route/alternatives?src=abc&dst=1",                                   // non-numeric src
+		"/route/alternatives?src=1&dst=xyz",                                   // non-numeric dst
+		"/route/alternatives?src=1&dst=99999999",                              // dst out of range
+		"/route/alternatives?src=-5&dst=1",                                    // negative vertex
+		fmt.Sprintf("/route/alternatives?src=%d&dst=%d&k=0", q.Src, q.Dst),    // k = 0
+		fmt.Sprintf("/route/alternatives?src=%d&dst=%d&k=-3", q.Src, q.Dst),   // negative k
+		fmt.Sprintf("/route/alternatives?src=%d&dst=%d&k=many", q.Src, q.Dst), // non-numeric k
+		fmt.Sprintf("/route/alternatives?src=%d&dst=%d&k=99", q.Src, q.Dst),   // k too large
+	} {
+		getJSON(t, srv.URL+bad, http.StatusBadRequest, nil)
+	}
+	// The well-formed variant still works after all the rejections.
+	getJSON(t, fmt.Sprintf("%s/route/alternatives?src=%d&dst=%d&k=2", srv.URL, q.Src, q.Dst),
+		http.StatusOK, nil)
+}
+
 func TestHTTPAlternatives(t *testing.T) {
 	_, srv := newTestServer(t)
 	_, fresh := sharedWorld(t)

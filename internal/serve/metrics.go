@@ -110,6 +110,13 @@ type Stats struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
 
+	// RouteComputations counts route searches actually run — queries
+	// not absorbed by the cache or by coalescing. CoalescedQueries
+	// counts queries that shared a concurrent duplicate's in-flight
+	// computation instead of running their own.
+	RouteComputations uint64 `json:"route_computations"`
+	CoalescedQueries  uint64 `json:"coalesced_queries"`
+
 	// SnapshotGeneration is the current router generation (starts at 1,
 	// +1 per Ingest/Publish).
 	SnapshotGeneration uint64 `json:"snapshot_generation"`
@@ -136,6 +143,8 @@ func (e *Engine) Stats() Stats {
 	st := Stats{
 		Uptime:               now.Sub(e.start),
 		Queries:              e.met.all.count.Load(),
+		RouteComputations:    e.computes.Load(),
+		CoalescedQueries:     e.coalesced.Load(),
 		SnapshotGeneration:   e.Generation(),
 		Ingests:              e.ingests.Load(),
 		IngestedTrajectories: e.ingestedTrajs.Load(),

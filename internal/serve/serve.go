@@ -1,25 +1,3 @@
-// Package serve is the online serving subsystem: it takes a built (or
-// loaded) core.Router and exposes it to concurrent query traffic while
-// trajectory ingestion keeps the router current in the background.
-//
-// The design is snapshot swapping. The current router lives behind an
-// atomic pointer; queries load the snapshot, borrow a per-goroutine
-// clone from the snapshot's pool (a core.Router's search engine is
-// single-caller), answer, and return the clone — no locks on the query
-// path. Ingestion is copy-on-write: a single writer deep-clones the
-// current router, ingests the new trajectories into the clone off the
-// query path, and atomically publishes the result as the next
-// generation. Queries racing an ingest simply keep reading the previous
-// generation; nothing blocks and nothing is read mid-mutation.
-//
-// On top of the snapshot sit a sharded LRU route cache — real road
-// traffic is heavily skewed toward hot OD pairs, so repeated queries
-// should cost a map lookup, not a graph search — and serving metrics
-// (QPS, per-category latency quantiles, cache hit rate, snapshot
-// generation, ingest lag). Cache entries record the generation that
-// produced them and are treated as misses once the snapshot advances,
-// so an ingest that, say, upgrades a B-edge to a T-edge can never serve
-// a stale pre-ingest route.
 package serve
 
 import (
@@ -44,6 +22,14 @@ type Options struct {
 	// CacheShards is the number of cache shards (default 16). More
 	// shards reduce lock contention under concurrent traffic.
 	CacheShards int
+	// NoCoalesce disables singleflight request coalescing. By default
+	// (when the cache is enabled) concurrent queries for the same
+	// (src, dst, k) on the same snapshot generation collapse to one
+	// route computation whose answer all of them share — a cold hot-OD
+	// key hit by a thundering herd costs one search instead of one per
+	// caller. Coalescing is keyed per generation, so it never serves an
+	// answer computed on a pre-swap router to a post-swap query.
+	NoCoalesce bool
 	// Ingest tunes the copy-on-write trajectory ingestion.
 	Ingest core.IngestOptions
 	// PathBackend selects the shortest-path backend the served router
@@ -100,10 +86,14 @@ func (s *snapshot) release(r *core.Router) { s.pool.Put(r) }
 // other and with Ingest/Publish; Ingest and Publish serialize among
 // themselves.
 type Engine struct {
-	opt   Options
-	snap  atomic.Pointer[snapshot]
-	cache *routeCache // nil when disabled
-	met   metrics
+	opt     Options
+	snap    atomic.Pointer[snapshot]
+	cache   *routeCache  // nil when disabled
+	flights *flightGroup // nil when coalescing disabled
+	met     metrics
+
+	computes  atomic.Uint64 // route computations actually run
+	coalesced atomic.Uint64 // queries that shared another caller's computation
 
 	writeMu sync.Mutex // serializes Ingest and Publish
 
@@ -126,6 +116,9 @@ func NewEngine(r *core.Router, opt Options) *Engine {
 	e := &Engine{opt: opt, start: time.Now()}
 	if opt.CacheSize > 0 {
 		e.cache = newRouteCache(opt.CacheSize, opt.CacheShards)
+		if !opt.NoCoalesce {
+			e.flights = newFlightGroup()
+		}
 	}
 	e.snap.Store(newSnapshot(r, 1))
 	e.lastSwapUnix.Store(time.Now().UnixNano())
@@ -143,8 +136,10 @@ func (e *Engine) Generation() uint64 { return e.snap.Load().gen }
 func (e *Engine) Snapshot() *core.Router { return e.snap.Load().base }
 
 // Route answers one routing query. The boolean reports whether the
-// answer came from the route cache. The result (including its Path) may
-// be shared with other callers and must be treated as immutable.
+// answer was shared rather than computed for this caller — a route
+// cache hit, or a coalesced duplicate that rode another caller's
+// in-flight computation. The result (including its Path) may be shared
+// with other callers and must be treated as immutable.
 func (e *Engine) Route(s, d roadnet.VertexID) (core.RouteResult, bool) {
 	res, hit, _ := e.routeK(s, d, 1)
 	return res[0], hit
@@ -174,6 +169,27 @@ func (e *Engine) routeK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool,
 			return res, true, snap.gen
 		}
 	}
+	var res []core.RouteResult
+	shared := false
+	if e.flights != nil {
+		// Coalesce concurrent duplicates: one leader computes (and
+		// fills the cache), followers share its answer.
+		res, shared = e.flights.do(flightKey{key: key, gen: snap.gen}, func() []core.RouteResult {
+			return e.compute(snap, key, s, d, k)
+		})
+		if shared {
+			e.coalesced.Add(1)
+		}
+	} else {
+		res = e.compute(snap, key, s, d, k)
+	}
+	e.met.observe(res[0].Category, time.Since(start))
+	return res, shared, snap.gen
+}
+
+// compute runs one route computation on a borrowed clone of snap's
+// router and caches the answer under snap's generation.
+func (e *Engine) compute(snap *snapshot, key cacheKey, s, d roadnet.VertexID, k int) []core.RouteResult {
 	r := snap.borrow()
 	var res []core.RouteResult
 	if k == 1 {
@@ -182,14 +198,14 @@ func (e *Engine) routeK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool,
 		res = r.RouteK(s, d, k)
 	}
 	snap.release(r)
+	e.computes.Add(1)
 	if e.cache != nil {
 		// Tag the entry with the generation that computed it: if a swap
 		// raced this query, the entry is already stale and the next
 		// lookup discards it.
 		e.cache.put(key, snap.gen, res)
 	}
-	e.met.observe(res[0].Category, time.Since(start))
-	return res, false, snap.gen
+	return res
 }
 
 // Ingest feeds new trajectories into the served router without

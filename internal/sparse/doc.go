@@ -1,0 +1,7 @@
+// Package sparse implements the small linear-algebra kernel required by
+// the preference-transfer step (paper Section V-B): symmetric sparse
+// matrices in CSR form, the unnormalized graph Laplacian, and two
+// iterative solvers for Eq. 3 — conjugate gradient (the default) and
+// Jacobi (kept for the ablation bench, matching the solvers the paper
+// cites).
+package sparse

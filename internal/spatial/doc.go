@@ -1,0 +1,5 @@
+// Package spatial provides a uniform grid index over road-network
+// vertices and edges. Map matching queries it for candidate edges near a
+// GPS record; the routing layer queries it for the vertex nearest an
+// arbitrary coordinate.
+package spatial

@@ -1,12 +1,3 @@
-// Package splice implements the Case-2 related-work baseline the paper
-// discusses in Section II: route recommendation by splicing historical
-// trajectories. Following Chen et al. (ICDE 2011, the paper's reference
-// [18]), it builds a transfer network from map-matched trajectory paths
-// and searches for the most popular spliced route under an absorbing
-// Markov chain model. Crucially — and this is the paper's Case-3
-// argument for L2R — splicing only works when the source and the
-// destination are connected inside the trajectory-covered subgraph;
-// package-level coverage statistics quantify how often that fails.
 package splice
 
 import (

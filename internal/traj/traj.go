@@ -1,14 +1,3 @@
-// Package traj provides the trajectory substrate: GPS records,
-// trajectories, the synthetic driver-population simulator that stands in
-// for the paper's proprietary GPS datasets D1 (Denmark, 1 Hz) and D2
-// (Chengdu taxis, 0.03–0.1 Hz), train/test splitting by time, and the
-// travel-distance statistics of Table II.
-//
-// The simulator's central property is that drivers choose paths according
-// to *latent, region-pair-dependent* routing preferences — exactly the
-// structure L2R assumes — so the learning pipeline has a recoverable
-// signal, and cost-centric baselines (shortest/fastest) are wrong
-// whenever the latent preference disagrees with their single cost.
 package traj
 
 import (

@@ -1,0 +1,8 @@
+// Package transfer implements Section V-B and V-C of the paper:
+// region-edge features and similarity (reSim), the graph-based
+// transduction learning that spreads routing preferences from T-edges to
+// similar B-edges by minimizing Eq. 2 through the linear system of
+// Eq. 3, and the materialization of transferred preferences into
+// concrete paths for B-edges with the preference-aware Dijkstra
+// (Algorithm 2).
+package transfer

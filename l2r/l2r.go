@@ -165,6 +165,14 @@ type IngestStats = core.IngestStats
 // See core.Load.
 func Load(r io.Reader) (*Router, error) { return core.Load(r) }
 
+// ArtifactMeta is the metadata persisted with every saved router:
+// name, build-options summary, save generation. See core.ArtifactMeta.
+type ArtifactMeta = core.ArtifactMeta
+
+// BuildInfo summarizes the Options a router was built with; carried
+// inside ArtifactMeta.
+type BuildInfo = core.BuildInfo
+
 // Serving re-exports. See the internal/serve package for full
 // documentation of the snapshot-swapping design.
 type (
@@ -189,3 +197,32 @@ type (
 // NewEngine wraps a built router for concurrent online serving. The
 // engine takes ownership of r; don't mutate it afterwards.
 func NewEngine(r *Router, opt ServeOptions) *Engine { return serve.NewEngine(r, opt) }
+
+// Multi-tenant serving re-exports. A Fleet hosts one named Engine per
+// world — one region graph per city's trajectory set — behind a single
+// HTTP front-end with tenant-addressed routes (/t/{tenant}/route, ...)
+// and aggregate stats; a FleetWatcher keeps it in sync with a
+// directory of artifacts, hot-swapping rebuilt files into the live
+// fleet without dropping in-flight queries. See internal/serve.
+type (
+	// Fleet is a registry of named serving engines.
+	Fleet = serve.Fleet
+	// FleetStats aggregates serving health across tenants.
+	FleetStats = serve.FleetStats
+	// FleetWatcher hot-reloads a fleet from an artifact directory.
+	FleetWatcher = serve.Watcher
+	// TenantInfo is one row of the fleet's /tenants listing.
+	TenantInfo = serve.TenantInfo
+)
+
+// ArtifactExt is the artifact file extension fleet directory loading
+// recognizes (".l2r").
+const ArtifactExt = serve.ArtifactExt
+
+// NewFleet creates an empty multi-tenant fleet; opt configures every
+// engine the fleet creates for its tenants.
+func NewFleet(opt ServeOptions) *Fleet { return serve.NewFleet(opt) }
+
+// NewFleetWatcher creates a watcher that loads every *.l2r in dir as a
+// tenant of fleet and hot-swaps changed files on each Scan.
+func NewFleetWatcher(fleet *Fleet, dir string) *FleetWatcher { return serve.NewWatcher(fleet, dir) }
