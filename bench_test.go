@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/ch"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/sparse"
 	"repro/internal/spatial"
 	"repro/internal/splice"
+	"repro/internal/stream"
 	"repro/internal/traj"
 	"repro/internal/transfer"
 )
@@ -810,6 +812,67 @@ func BenchmarkFleet(b *testing.B) {
 		b.StopTimer()
 		close(stop)
 		wg.Wait()
+	})
+}
+
+// BenchmarkStream measures the streaming GPS ingestion pipeline end
+// to end — sessionization, windowed online map matching and adaptive
+// batching into a live engine — against the one-swap-per-trajectory
+// ingestion the HTTP /ingest path performs at equal trajectory
+// volume. The swaps/traj metric is the amortization: the pipeline
+// batches MaxBatch trajectories per copy-on-write snapshot swap
+// (~1/32 here), where per-trajectory ingestion reports 1.
+func BenchmarkStream(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter()
+	live := w.Test
+	if len(live) > 120 {
+		live = live[:120]
+	}
+	pts := stream.PointsFrom(live, true)
+
+	b.Run("Pipeline", func(b *testing.B) {
+		var swaps, trajs, points float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := serve.NewEngine(r.DeepClone(), serve.Options{CacheSize: -1})
+			b.StartTimer()
+			ing := stream.Attach(e, stream.Config{
+				Match:    mapmatch.Config{SigmaM: 15},
+				MaxBatch: 32,
+				FlushAge: time.Hour, // count-driven; Close drains the tail
+			})
+			ing.PushAll(pts)
+			ing.Close()
+			b.StopTimer()
+			st := e.Stats()
+			swaps += float64(st.Ingests)
+			trajs += float64(st.IngestedTrajectories)
+			points += float64(len(pts))
+			b.StartTimer()
+		}
+		b.StopTimer()
+		if trajs > 0 {
+			b.ReportMetric(swaps/trajs, "swaps/traj")
+			b.ReportMetric(points/trajs, "points/traj")
+		}
+	})
+
+	b.Run("PerTrajectorySwap", func(b *testing.B) {
+		// The /ingest baseline: every trajectory pays its own deep-clone
+		// snapshot swap (paths pre-matched, so only the swap differs).
+		b.StopTimer()
+		e := serve.NewEngine(r.DeepClone(), serve.Options{
+			CacheSize: -1,
+			Ingest:    core.IngestOptions{SkipMapMatching: true},
+		})
+		b.StartTimer()
+		for i := 0; i < b.N; i++ {
+			e.Ingest(live[i%len(live) : i%len(live)+1])
+		}
+		b.StopTimer()
+		st := e.Stats()
+		b.ReportMetric(float64(st.Ingests)/float64(st.IngestedTrajectories), "swaps/traj")
 	})
 }
 

@@ -17,8 +17,18 @@
 //	GET  /route?src=S&dst=D
 //	GET  /route/alternatives?src=S&dst=D&k=K
 //	POST /ingest                 {"paths": [[v0,v1,...], ...]}
+//	POST /stream                 NDJSON GPS points (raw feeds)
 //	GET  /stats
 //	GET  /healthz
+//
+// With -stream (the default) a streaming ingestion pipeline is
+// attached: POST /stream accepts raw per-vehicle NDJSON GPS points
+// ({"vehicle":"v1","t":12.5,"x":...,"y":...}), sessionizes them,
+// map-matches them online and batches the closed trajectories into
+// the live engine; /stats grows a "stream" block. Replay modes feed
+// the pipeline without a client: -replay N streams N freshly
+// simulated trips (synthetic worlds only), -replay-file f streams a
+// recorded NDJSON point log, both paced by -replay-rate.
 //
 // In fleet mode (-artifact-dir) the same endpoints nest under
 // /t/{tenant}/ (tenant = artifact file name sans .l2r), and the
@@ -62,6 +72,13 @@ func main() {
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	pathEngine := flag.String("path-engine", "dijkstra", "shortest-path backend: dijkstra or ch (contraction hierarchy, built once at startup)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	streamOn := flag.Bool("stream", true, "attach the streaming GPS ingestion pipeline (POST /stream)")
+	streamBatch := flag.Int("stream-batch", 32, "stream batching: trajectories per ingest swap")
+	streamFlush := flag.Duration("stream-flush", 2*time.Second, "stream batching: max age before a partial batch flushes")
+	streamGap := flag.Float64("stream-gap", 300, "stream sessionization: time gap (s) that ends a trip")
+	replayTrips := flag.Int("replay", 0, "replay N freshly simulated trips through the stream pipeline (synthetic worlds only)")
+	replayFile := flag.String("replay-file", "", "replay a recorded NDJSON point log through the stream pipeline")
+	replayRate := flag.Float64("replay-rate", 0, "replay pacing: multiple of the feed's own clock (0 = full speed)")
 	flag.Parse()
 
 	var backend l2r.PathBackend
@@ -81,8 +98,17 @@ func main() {
 		PathBackend: backend,
 	}
 
+	streamCfg := l2r.StreamConfig{
+		MaxBatch: *streamBatch,
+		FlushAge: *streamFlush,
+		GapS:     *streamGap,
+	}
+
 	if *artifactDir != "" {
-		serveFleet(*addr, *artifactDir, *reload, *drain, opt)
+		if *replayTrips > 0 || *replayFile != "" {
+			log.Fatal("replay modes are single-tenant; in fleet mode feed POST /t/{tenant}/stream instead")
+		}
+		serveFleet(*addr, *artifactDir, *reload, *drain, opt, *streamOn, streamCfg)
 		return
 	}
 
@@ -102,18 +128,96 @@ func main() {
 	} else {
 		log.Printf("path engine: dijkstra")
 	}
+	var background func(context.Context)
+	if *streamOn {
+		ing := l2r.AttachStream(engine, streamCfg)
+		defer ing.Close()
+		log.Printf("streaming pipeline attached: POST /stream (batch %d, flush %v, gap %.0fs)",
+			*streamBatch, *streamFlush, *streamGap)
+		replay, err := replayPoints(*replayTrips, *replayFile, *artifact, *network, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(replay) > 0 {
+			background = func(ctx context.Context) {
+				n := l2r.ReplayStream(ctx, ing, replay, *replayRate)
+				st := ing.StreamStats()
+				log.Printf("replay done: %d points -> %d segments closed, %d trajectories flushed over %d swaps",
+					n, st.SegmentsClosed, st.FlushedTrajectories, st.Flushes)
+			}
+		}
+	} else if *replayTrips > 0 || *replayFile != "" {
+		log.Fatal("replay modes need the stream pipeline; drop -stream=false")
+	}
+
 	log.Printf("serving on %s (cache %d entries / %d shards)", *addr, *cacheSize, *cacheShards)
-	serveAndDrain(*addr, engine.Handler(), *drain, nil)
+	serveAndDrain(*addr, engine.Handler(), *drain, background)
 	final := engine.Stats()
 	log.Printf("served %d queries (%.1f qps, cache hit rate %.1f%%, %d coalesced, generation %d, %d ingests)",
 		final.Queries, final.QPS, 100*final.CacheHitRate, final.CoalescedQueries,
 		final.SnapshotGeneration, final.Ingests)
+	if final.Stream != nil {
+		log.Printf("stream: %d points in, %d segments closed (%d dropped), %d trajectories over %d swaps",
+			final.Stream.PointsIn, final.Stream.SegmentsClosed, final.Stream.SegmentsDropped,
+			final.Stream.FlushedTrajectories, final.Stream.Flushes)
+	}
+}
+
+// replayPoints builds the replay feed: a recorded NDJSON log, or a
+// fresh simulation over the synthetic world's network (artifacts
+// carry no simulator configuration, so -replay needs -net).
+func replayPoints(replayTrips int, replayFile, artifact, network string, seed int64) ([]l2r.StreamPoint, error) {
+	if replayFile != "" {
+		f, err := os.Open(replayFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		pts, err := l2r.ReadStreamNDJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("replaying %d recorded points from %s", len(pts), replayFile)
+		return pts, nil
+	}
+	if replayTrips <= 0 {
+		return nil, nil
+	}
+	if artifact != "" {
+		return nil, fmt.Errorf("-replay needs a synthetic world (use -replay-file with artifacts)")
+	}
+	var g *roadnet.Graph
+	var cfg traj.SimConfig
+	switch network {
+	case "n1":
+		g = roadnet.Generate(roadnet.N1Like(seed))
+		cfg = traj.D1Like(seed+2, replayTrips)
+	case "n2":
+		g = roadnet.Generate(roadnet.N2Like(seed))
+		cfg = traj.D2Like(seed+2, replayTrips)
+	case "tiny":
+		g = roadnet.Generate(roadnet.Tiny(seed))
+		cfg = traj.D2Like(seed+2, replayTrips)
+	default:
+		return nil, fmt.Errorf("unknown network %q", network)
+	}
+	live := traj.NewSimulator(g, cfg).Run()
+	pts := l2r.StreamPointsFrom(live, true)
+	log.Printf("replaying %d simulated trips (%d points)", len(live), len(pts))
+	return pts, nil
 }
 
 // serveFleet runs the multi-tenant mode: every *.l2r in dir is a
-// tenant, hot-reloaded on change while the fleet serves.
-func serveFleet(addr, dir string, reload, drain time.Duration, opt l2r.ServeOptions) {
+// tenant, hot-reloaded on change while the fleet serves. With
+// streaming on, every tenant — including ones hot-loaded later — gets
+// its own pipeline behind POST /t/{tenant}/stream.
+func serveFleet(addr, dir string, reload, drain time.Duration, opt l2r.ServeOptions, streamOn bool, streamCfg l2r.StreamConfig) {
 	fleet := l2r.NewFleet(opt)
+	if streamOn {
+		streams := l2r.AttachFleetStreams(fleet, streamCfg)
+		defer streams.Close()
+		log.Printf("streaming pipelines attached: POST /t/{tenant}/stream")
+	}
 	watcher := l2r.NewFleetWatcher(fleet, dir)
 	watcher.Logf = log.Printf
 	loaded, _, failed := watcher.Scan()

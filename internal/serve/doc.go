@@ -45,6 +45,16 @@
 // and is retried on the next scan instead of dethroning the serving
 // snapshot.
 //
+// # Streaming ingestion
+//
+// Raw GPS feeds enter through the streaming pipeline in
+// internal/stream, which attaches to an engine via AttachStream: its
+// NDJSON endpoint mounts as POST /stream (POST /t/{tenant}/stream
+// behind a fleet, for every tenant Fleet.OnCreate sees), its batches
+// enter through IngestMatched — many trajectories per copy-on-write
+// swap instead of /ingest's one per request — and its health rides in
+// Stats().Stream as StreamStats.
+//
 // Serving metrics (QPS, per-category latency quantiles, cache hit
 // rate, coalesced and computed query counts, snapshot generation,
 // ingest lag) are exposed per engine (Stats) and aggregated per fleet

@@ -30,6 +30,15 @@ type Fleet struct {
 	opt   Options // engine options for tenants the fleet creates
 	start time.Time
 
+	// OnCreate, when set, runs for every tenant engine the fleet
+	// creates (Add, or Publish of a new name) — the place to attach
+	// per-tenant plumbing such as a streaming ingestion pipeline
+	// (stream.AttachFleet uses it). It runs synchronously while the
+	// registry write lock is held, so no request reaches the tenant
+	// before it returns; it must not call back into the Fleet. Set it
+	// before tenants are added.
+	OnCreate func(name string, e *Engine)
+
 	mu      sync.RWMutex
 	tenants map[string]*tenant
 }
@@ -86,6 +95,9 @@ func (f *Fleet) Add(name string, r *core.Router) (*Engine, error) {
 		return nil, fmt.Errorf("serve: tenant %q already exists", name)
 	}
 	f.tenants[name] = newTenant(name, e)
+	if f.OnCreate != nil {
+		f.OnCreate(name, e)
+	}
 	return e, nil
 }
 
@@ -112,6 +124,9 @@ func (f *Fleet) Publish(name string, r *core.Router) (uint64, error) {
 	if !ok {
 		e := NewEngine(r, f.opt)
 		f.tenants[name] = newTenant(name, e)
+		if f.OnCreate != nil {
+			f.OnCreate(name, e)
+		}
 		return e.Generation(), nil
 	}
 	// The registry write lock is held across the engine swap so a

@@ -360,3 +360,36 @@ func TestFleetHTTPTenantsAndStats(t *testing.T) {
 		t.Fatalf("generation after publish = %d, want 2", listing.Tenants[0].SnapshotGeneration)
 	}
 }
+
+// TestFleetOnCreate: the hook fires for Add and for Publish of a new
+// name (the watcher's hot-load path), but not for a hot swap of an
+// existing tenant — the engine, and whatever was attached to it,
+// survives the swap.
+func TestFleetOnCreate(t *testing.T) {
+	base, _ := sharedWorld(t)
+	f := NewFleet(Options{})
+	var created []string
+	f.OnCreate = func(name string, e *Engine) {
+		if e == nil {
+			t.Errorf("OnCreate(%q) got nil engine", name)
+		}
+		created = append(created, name)
+	}
+	if _, err := f.Add("a", base.DeepClone()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Publish("b", base.DeepClone()); err != nil {
+		t.Fatal(err)
+	}
+	ebBefore, _ := f.Get("b")
+	if _, err := f.Publish("b", base.DeepClone()); err != nil { // hot swap
+		t.Fatal(err)
+	}
+	ebAfter, _ := f.Get("b")
+	if ebBefore != ebAfter {
+		t.Fatal("hot swap replaced the engine; attachments would be lost")
+	}
+	if len(created) != 2 || created[0] != "a" || created[1] != "b" {
+		t.Fatalf("OnCreate fired for %v, want [a b]", created)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -51,22 +52,71 @@ type ingestReply struct {
 	Generation         uint64  `json:"generation"`
 }
 
+// streamAttachment couples the streaming pipeline's HTTP front-end
+// with its stats source; registered via AttachStream, read lock-free
+// on the /stream and /stats paths.
+type streamAttachment struct {
+	handler http.Handler
+	source  StreamSource
+}
+
+// AttachStream registers a streaming-ingestion front-end on the
+// engine: h serves POST /stream on the engine's HTTP API (404 until
+// one is attached), and src — when non-nil — reports pipeline health
+// through Stats().Stream. internal/stream's Attach wires both.
+func (e *Engine) AttachStream(h http.Handler, src StreamSource) {
+	e.stream.Store(&streamAttachment{handler: h, source: src})
+}
+
 // Handler returns the engine's HTTP API:
 //
 //	GET  /route?src=S&dst=D              best route for (S, D)
 //	GET  /route/alternatives?src=S&dst=D&k=K   up to K ranked routes
 //	POST /ingest                         {"paths": [[v0,v1,...], ...]}
+//	POST /stream                         NDJSON GPS points (AttachStream)
 //	GET  /stats                          serving metrics (Stats)
 //	GET  /healthz                        liveness + snapshot generation
+//
+// Every endpoint's request body is bounded by Options.MaxBodyBytes;
+// larger bodies are rejected with 413.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/route", e.handleRoute)
 	mux.HandleFunc("/route/alternatives", e.handleAlternatives)
 	mux.HandleFunc("/ingest", e.handleIngest)
+	mux.HandleFunc("/stream", e.handleStream)
 	mux.HandleFunc("/stats", e.handleStats)
 	mux.HandleFunc("/healthz", e.handleHealthz)
-	return mux
+	limit := e.opt.MaxBodyBytes
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
+
+// decodeStatus maps a request-body decode error to an HTTP status: 413
+// when the MaxBytesReader limit was hit, 400 otherwise.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// WriteJSON, WriteError and DecodeStatus are the engine API's reply
+// conventions, exported for HTTP front-ends layered on the engine
+// (internal/stream's NDJSON endpoint) so error shape and the 413
+// mapping stay in one place.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeError(w, status, format, args...)
+}
+
+func DecodeStatus(err error) int { return decodeStatus(err) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -187,7 +237,7 @@ func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		writeError(w, decodeStatus(err), "decoding body: %v", err)
 		return
 	}
 	if len(req.Paths) == 0 {
@@ -214,7 +264,9 @@ func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "path %d is not connected in the road network", i)
 			return
 		}
-		ts = append(ts, &traj.Trajectory{ID: i, Truth: p})
+		// Engine-unique IDs: a per-request index would collide across
+		// requests (and with the streaming pipeline).
+		ts = append(ts, &traj.Trajectory{ID: e.NextTrajectoryID(), Truth: p})
 	}
 	// Paths arrive already map-matched (vertex sequences), so ingest
 	// trusts them as ground truth.
@@ -232,6 +284,15 @@ func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
 		ElapsedMs:          float64(st.Elapsed.Microseconds()) / 1000,
 		Generation:         gen,
 	})
+}
+
+func (e *Engine) handleStream(w http.ResponseWriter, r *http.Request) {
+	at := e.stream.Load()
+	if at == nil || at.handler == nil {
+		writeError(w, http.StatusNotFound, "streaming ingestion is not enabled on this engine")
+		return
+	}
+	at.handler.ServeHTTP(w, r)
 }
 
 func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -201,3 +201,114 @@ func TestHTTPStats(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// TestHTTPBodyLimit: request bodies beyond Options.MaxBodyBytes are
+// rejected with 413, on /ingest and on every other endpoint the limit
+// middleware wraps.
+func TestHTTPBodyLimit(t *testing.T) {
+	base, _ := sharedWorld(t)
+	e := NewEngine(base.Clone(), Options{MaxBodyBytes: 256})
+	srv := httptest.NewServer(e.Handler())
+	t.Cleanup(srv.Close)
+
+	var body struct {
+		Paths [][]int `json:"paths"`
+	}
+	long := make([]int, 500)
+	body.Paths = [][]int{long}
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+"/ingest", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize /ingest: status %d want 413", resp.StatusCode)
+	}
+	var msg struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil || msg.Error == "" {
+		t.Fatalf("413 reply carries no error message (%v)", err)
+	}
+
+	// A small body still works.
+	_, fresh := sharedWorld(t)
+	var ok struct {
+		Paths [][]int `json:"paths"`
+	}
+	p := make([]int, 0, len(fresh[0].Truth))
+	for _, v := range fresh[0].Truth {
+		p = append(p, int(v))
+	}
+	ok.Paths = [][]int{p}
+	raw, _ = json.Marshal(ok)
+	if int64(len(raw)) >= 256 {
+		t.Skip("sample path too long for the limit; satellite covered above")
+	}
+	resp2, err := http.Post(srv.URL+"/ingest", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("small /ingest: status %d", resp2.StatusCode)
+	}
+}
+
+// TestHTTPStreamUnattached: /stream exists on the mux but reports 404
+// until a streaming pipeline is attached.
+func TestHTTPStreamUnattached(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/stream", "application/x-ndjson", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unattached /stream: status %d want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPIngestIDsUnique: trajectory IDs are drawn from the engine
+// counter, so they cannot collide across requests (the old per-request
+// index did).
+func TestHTTPIngestIDsUnique(t *testing.T) {
+	base, fresh := sharedWorld(t)
+	e := NewEngine(base.DeepClone(), Options{})
+	srv := httptest.NewServer(e.Handler())
+	t.Cleanup(srv.Close)
+
+	post := func(n int) {
+		t.Helper()
+		var body struct {
+			Paths [][]int `json:"paths"`
+		}
+		for _, tr := range fresh[:n] {
+			p := make([]int, len(tr.Truth))
+			for i, v := range tr.Truth {
+				p[i] = int(v)
+			}
+			body.Paths = append(body.Paths, p)
+		}
+		raw, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+"/ingest", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /ingest: status %d", resp.StatusCode)
+		}
+	}
+	post(3)
+	seq1 := e.NextTrajectoryID()
+	if seq1 < 3 {
+		t.Fatalf("counter = %d after 3 ingested paths; IDs would collide across requests", seq1)
+	}
+	post(2)
+	seq2 := e.NextTrajectoryID()
+	if seq2 <= seq1 {
+		t.Fatalf("counter did not advance across requests: %d -> %d", seq1, seq2)
+	}
+}

@@ -94,6 +94,50 @@ func (h *latHist) stats() LatencyStats {
 	}
 }
 
+// StreamStats describes the streaming GPS ingestion pipeline feeding
+// an engine (see internal/stream): sessionization health, the
+// closed-trajectory batch queue, and flush amortization. Absent from
+// Stats when no pipeline is attached.
+type StreamStats struct {
+	// ActiveSessions is the number of vehicles with an open session.
+	ActiveSessions int `json:"active_sessions"`
+	// PointsIn counts GPS points accepted by Push; the three drop
+	// counters break out points discarded before sessionization:
+	// arrivals older than the reorder window, exact duplicates, and
+	// teleport-distance outliers.
+	PointsIn        uint64 `json:"points_in"`
+	PointsLate      uint64 `json:"points_late"`
+	PointsDuplicate uint64 `json:"points_duplicate"`
+	PointsOutlier   uint64 `json:"points_outlier"`
+	// SegmentsClosed counts trajectory segments ended by gap, dwell,
+	// teleport or an explicit close; SegmentsDropped the subset too
+	// short to ingest (under MinPoints records or fewer than 2 matched
+	// vertices).
+	SegmentsClosed  uint64 `json:"segments_closed"`
+	SegmentsDropped uint64 `json:"segments_dropped"`
+	// QueueDepth/QueueCapacity describe the closed-trajectory batch
+	// queue; QueueDrops counts trajectories rejected because the queue
+	// was full (ingest backpressure) or because a hot swap replaced
+	// the engine's road network out from under the pipeline.
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	QueueDrops    uint64 `json:"queue_drops"`
+	// Flushes counts Engine.Ingest swaps the batcher ran;
+	// FlushedTrajectories the trajectories they carried — the ratio is
+	// the snapshot-swap amortization. LastFlushBatch and
+	// LastFlushLatency describe the most recent flush.
+	Flushes             uint64        `json:"flushes"`
+	FlushedTrajectories uint64        `json:"flushed_trajectories"`
+	LastFlushBatch      int           `json:"last_flush_batch"`
+	LastFlushLatency    time.Duration `json:"last_flush_latency_ns"`
+}
+
+// StreamSource reports streaming-ingestion stats; the pipeline
+// registers one via Engine.AttachStream and Stats surfaces it.
+type StreamSource interface {
+	StreamStats() StreamStats
+}
+
 // Stats is a point-in-time snapshot of serving health.
 type Stats struct {
 	// Uptime is the time since the engine was created.
@@ -135,6 +179,10 @@ type Stats struct {
 	// it down by the paper's query categories.
 	Latency     LatencyStats            `json:"latency"`
 	PerCategory map[string]LatencyStats `json:"per_category"`
+
+	// Stream reports the attached streaming ingestion pipeline; nil
+	// when none is attached.
+	Stream *StreamStats `json:"stream,omitempty"`
 }
 
 // Stats gathers a consistent-enough snapshot of the engine's counters.
@@ -168,6 +216,10 @@ func (e *Engine) Stats() Stats {
 		if e.met.perCat[i].count.Load() > 0 {
 			st.PerCategory[core.Category(i).String()] = e.met.perCat[i].stats()
 		}
+	}
+	if at := e.stream.Load(); at != nil && at.source != nil {
+		ss := at.source.StreamStats()
+		st.Stream = &ss
 	}
 	return st
 }

@@ -32,6 +32,10 @@ type Options struct {
 	NoCoalesce bool
 	// Ingest tunes the copy-on-write trajectory ingestion.
 	Ingest core.IngestOptions
+	// MaxBodyBytes bounds the request bodies the HTTP API accepts:
+	// Handler wraps every endpoint's body in http.MaxBytesReader, and
+	// requests over the limit are rejected with 413. Default 8 MiB.
+	MaxBodyBytes int64
 	// PathBackend selects the shortest-path backend the served router
 	// runs on. With core.BackendCH, a router that is still
 	// Dijkstra-backed (e.g. freshly loaded from an artifact) gets its
@@ -54,6 +58,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheShards <= 0 {
 		o.CacheShards = 16
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
 	}
 	return o
 }
@@ -96,6 +103,12 @@ type Engine struct {
 	coalesced atomic.Uint64 // queries that shared another caller's computation
 
 	writeMu sync.Mutex // serializes Ingest and Publish
+
+	// stream holds the optional streaming-ingestion attachment (HTTP
+	// front-end + stats source); trajSeq hands out engine-unique
+	// trajectory IDs to every ingestion path.
+	stream  atomic.Pointer[streamAttachment]
+	trajSeq atomic.Uint64
 
 	start         time.Time
 	ingests       atomic.Uint64
@@ -233,6 +246,23 @@ func (e *Engine) ingest(ts []*traj.Trajectory, opt core.IngestOptions) (core.Ing
 	e.ingests.Add(1)
 	e.ingestedTrajs.Add(uint64(len(ts)))
 	return st, cur.gen + 1
+}
+
+// NextTrajectoryID returns the next engine-unique trajectory ID. All
+// ingestion paths (HTTP /ingest, the streaming pipeline) draw from the
+// same monotonic counter, so IDs never collide across requests or
+// sources.
+func (e *Engine) NextTrajectoryID() int { return int(e.trajSeq.Add(1) - 1) }
+
+// IngestMatched ingests trajectories whose road-network paths are
+// already resolved (Truth/Matched set — e.g. by the streaming
+// pipeline's online map matching), skipping the offline matching pass
+// regardless of the engine's ingest options. It reports the stats and
+// the generation it published.
+func (e *Engine) IngestMatched(ts []*traj.Trajectory) (core.IngestStats, uint64) {
+	opt := e.opt.Ingest
+	opt.SkipMapMatching = true
+	return e.ingest(ts, opt)
 }
 
 // Publish swaps in an externally built router (e.g. after a full

@@ -1,0 +1,288 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/roadnet"
+	"repro/internal/serve"
+	"repro/internal/traj"
+)
+
+// Ingestor is the full pipeline bound to one serving engine:
+// sessionization and online matching via an embedded Sessionizer, plus
+// adaptive batching of the closed trajectories into the engine's
+// copy-on-write ingest. One Engine.IngestMatched call — one snapshot
+// swap — carries a whole batch, where the HTTP /ingest path pays one
+// swap per request.
+type Ingestor struct {
+	eng *serve.Engine
+	cfg Config
+	sz  *Sessionizer
+
+	mu     sync.Mutex
+	queue  []*traj.Trajectory
+	oldest time.Time // arrival of queue[0]
+
+	kick      chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+
+	queueDrops   atomic.Uint64
+	flushes      atomic.Uint64
+	flushedTrajs atomic.Uint64
+	lastBatch    atomic.Int64
+	lastFlushNs  atomic.Int64
+}
+
+// NewIngestor builds a pipeline feeding e. The spatial index and
+// matchers are built over e's current road network (the network is
+// immutable across ingest swaps — rule 1 of the snapshot contract). A
+// background flusher starts immediately; call Close to stop it.
+// Most callers want Attach, which also registers the HTTP front-end
+// and stats source on the engine.
+func NewIngestor(e *serve.Engine, cfg Config) *Ingestor {
+	cfg = cfg.withDefaults()
+	ing := &Ingestor{
+		eng:  e,
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	user := cfg.OnTrajectory
+	emit := func(vehicle string, t *traj.Trajectory) {
+		t.ID = e.NextTrajectoryID()
+		if user != nil {
+			user(vehicle, t)
+		}
+		ing.enqueue(t)
+	}
+	ing.sz = NewSessionizer(e.Snapshot().Road(), nil, cfg, emit)
+	go ing.flusher()
+	return ing
+}
+
+// Push feeds one point (or control record) into the pipeline; safe for
+// concurrent use across vehicles.
+func (ing *Ingestor) Push(p Point) { ing.sz.Push(p) }
+
+// PushAll feeds points in order.
+func (ing *Ingestor) PushAll(pts []Point) { ing.sz.PushAll(pts) }
+
+// CloseVehicle ends one vehicle's session.
+func (ing *Ingestor) CloseVehicle(v string) { ing.sz.CloseVehicle(v) }
+
+// CloseAll ends every open session; the closed trajectories queue for
+// the next flush.
+func (ing *Ingestor) CloseAll() { ing.sz.CloseAll() }
+
+// enqueue hands one closed trajectory to the batcher. When the bounded
+// queue is full — the engine's ingest is slower than the feed — the
+// trajectory is dropped and counted rather than blocking the feed.
+func (ing *Ingestor) enqueue(t *traj.Trajectory) {
+	ing.mu.Lock()
+	if len(ing.queue) >= ing.cfg.QueueCap {
+		ing.mu.Unlock()
+		ing.queueDrops.Add(1)
+		return
+	}
+	if len(ing.queue) == 0 {
+		ing.oldest = time.Now()
+	}
+	ing.queue = append(ing.queue, t)
+	ing.mu.Unlock()
+	select {
+	case ing.kick <- struct{}{}:
+	default:
+	}
+}
+
+// flusher is the single background goroutine that applies the
+// count/age policy: flush when MaxBatch trajectories are queued or the
+// oldest has waited FlushAge, whichever comes first.
+func (ing *Ingestor) flusher() {
+	defer close(ing.done)
+	for {
+		select {
+		case <-ing.stop:
+			ing.Flush()
+			return
+		case <-ing.kick:
+		}
+		for {
+			ing.mu.Lock()
+			n := len(ing.queue)
+			var age time.Duration
+			if n > 0 {
+				age = time.Since(ing.oldest)
+			}
+			ing.mu.Unlock()
+			if n == 0 {
+				break
+			}
+			if n >= ing.cfg.MaxBatch || age >= ing.cfg.FlushAge {
+				ing.Flush()
+				continue
+			}
+			timer := time.NewTimer(ing.cfg.FlushAge - age)
+			select {
+			case <-ing.stop:
+				timer.Stop()
+				ing.Flush()
+				return
+			case <-ing.kick:
+				timer.Stop()
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// Flush synchronously ingests everything queued right now as one
+// batch (one snapshot swap) and returns the batch size. Safe to call
+// concurrently with the background flusher.
+//
+// The pipeline's matchers were built over the road network the engine
+// served at attach time. A Publish that swapped in a router over a
+// *different* network (normal artifact reloads of the same city keep
+// the network) would make those matches meaningless, so Flush drops
+// trajectories whose paths are not valid on the engine's current
+// network, counting them as queue drops, instead of corrupting the
+// router; re-attach the pipeline after such a swap.
+func (ing *Ingestor) Flush() int {
+	ing.mu.Lock()
+	batch := ing.queue
+	ing.queue = nil
+	ing.mu.Unlock()
+	if len(batch) == 0 {
+		return 0
+	}
+	road := ing.eng.Snapshot().Road()
+	kept := batch[:0]
+	for _, t := range batch {
+		if pathOnRoad(t.Truth, road) {
+			kept = append(kept, t)
+		} else {
+			ing.queueDrops.Add(1)
+		}
+	}
+	batch = kept
+	if len(batch) == 0 {
+		return 0
+	}
+	start := time.Now()
+	ing.eng.IngestMatched(batch)
+	ing.flushes.Add(1)
+	ing.flushedTrajs.Add(uint64(len(batch)))
+	ing.lastBatch.Store(int64(len(batch)))
+	ing.lastFlushNs.Store(int64(time.Since(start)))
+	return len(batch)
+}
+
+// pathOnRoad reports whether p is a connected path of g, range-checking
+// the vertices first (a foreign graph's IDs may be out of bounds).
+func pathOnRoad(p roadnet.Path, g *roadnet.Graph) bool {
+	n := g.NumVertices()
+	for _, v := range p {
+		if int(v) < 0 || int(v) >= n {
+			return false
+		}
+	}
+	return p.Valid(g)
+}
+
+// Close ends the pipeline: every session is closed, the queue is
+// flushed, and the background flusher exits. Idempotent.
+func (ing *Ingestor) Close() {
+	ing.closeOnce.Do(func() {
+		ing.sz.CloseAll()
+		close(ing.stop)
+		<-ing.done
+	})
+}
+
+// Sessionizer exposes the embedded sessionization stage.
+func (ing *Ingestor) Sessionizer() *Sessionizer { return ing.sz }
+
+// StreamStats implements serve.StreamSource: sessionization counters
+// plus the batch queue and flush amortization.
+func (ing *Ingestor) StreamStats() serve.StreamStats {
+	st := ing.sz.Stats()
+	ing.mu.Lock()
+	st.QueueDepth = len(ing.queue)
+	ing.mu.Unlock()
+	st.QueueCapacity = ing.cfg.QueueCap
+	st.QueueDrops = ing.queueDrops.Load()
+	st.Flushes = ing.flushes.Load()
+	st.FlushedTrajectories = ing.flushedTrajs.Load()
+	st.LastFlushBatch = int(ing.lastBatch.Load())
+	st.LastFlushLatency = time.Duration(ing.lastFlushNs.Load())
+	return st
+}
+
+// Attach wires a streaming pipeline into e: the returned Ingestor's
+// NDJSON endpoint appears as POST /stream on e's HTTP API and its
+// health in e.Stats().Stream. Call Close on the result at shutdown.
+func Attach(e *serve.Engine, cfg Config) *Ingestor {
+	ing := NewIngestor(e, cfg)
+	e.AttachStream(ing.Handler(), ing)
+	return ing
+}
+
+// FleetStreams tracks the per-tenant pipelines AttachFleet creates.
+type FleetStreams struct {
+	cfg  Config
+	mu   sync.Mutex
+	ings map[string]*Ingestor
+}
+
+// AttachFleet attaches a streaming pipeline to every current and
+// future tenant of f (via Fleet.OnCreate), so POST /t/{name}/stream
+// works for artifacts hot-loaded later, too. Set it up before the
+// fleet serves traffic; call Close on the result at shutdown.
+func AttachFleet(f *serve.Fleet, cfg Config) *FleetStreams {
+	fs := &FleetStreams{cfg: cfg, ings: make(map[string]*Ingestor)}
+	f.OnCreate = func(name string, e *serve.Engine) { fs.attach(name, e) }
+	for _, name := range f.Names() {
+		if e, ok := f.Get(name); ok {
+			fs.attach(name, e)
+		}
+	}
+	return fs
+}
+
+func (fs *FleetStreams) attach(name string, e *serve.Engine) {
+	ing := Attach(e, fs.cfg)
+	fs.mu.Lock()
+	old := fs.ings[name]
+	fs.ings[name] = ing
+	fs.mu.Unlock()
+	if old != nil {
+		old.Close() // tenant re-created under the same name
+	}
+}
+
+// Get returns the named tenant's pipeline.
+func (fs *FleetStreams) Get(name string) (*Ingestor, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ing, ok := fs.ings[name]
+	return ing, ok
+}
+
+// Close stops every attached pipeline, flushing queued batches.
+func (fs *FleetStreams) Close() {
+	fs.mu.Lock()
+	ings := make([]*Ingestor, 0, len(fs.ings))
+	for _, ing := range fs.ings {
+		ings = append(ings, ing)
+	}
+	fs.ings = make(map[string]*Ingestor)
+	fs.mu.Unlock()
+	for _, ing := range ings {
+		ing.Close()
+	}
+}

@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mapmatch"
+	"repro/internal/traj"
+)
+
+// Point is one raw GPS observation from one vehicle's feed — the wire
+// unit of the pipeline (NDJSON records on POST /stream, replay
+// sources, Sessionizer.Push). T is in seconds on the feed's clock;
+// X/Y are the planar coordinates the road network uses.
+type Point struct {
+	Vehicle string  `json:"vehicle"`
+	T       float64 `json:"t"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	// Close marks a control record: the vehicle's open session is
+	// drained and closed (T/X/Y are ignored). Feeds that know a trip
+	// ended — engine-off events, depot returns — send one instead of
+	// waiting out the gap timeout.
+	Close bool `json:"close,omitempty"`
+}
+
+func (p Point) pos() geo.Point { return geo.Pt(p.X, p.Y) }
+
+// Config tunes the pipeline. The zero value is usable; zero fields
+// take the documented defaults.
+type Config struct {
+	// GapS closes a segment when consecutive points of one vehicle are
+	// more than this many seconds apart (default 300).
+	GapS float64
+	// DwellS and DwellRadiusM close a segment when a vehicle stays
+	// within DwellRadiusM (default 40) of one spot for more than
+	// DwellS seconds (default 240) — the trip ended even though the
+	// receiver keeps reporting.
+	DwellS       float64
+	DwellRadiusM float64
+	// MaxSpeedMS and TeleportSlackM flag a point as a teleport-distance
+	// outlier when reaching it from the last accepted point would need
+	// to cover more than MaxSpeedMS·dt + TeleportSlackM meters
+	// (defaults 70 m/s and 50 m; the slack keeps position noise on
+	// closely spaced fixes from reading as impossible speed). One
+	// inconsistent point is dropped as noise; two consecutive points
+	// consistent with each other but not with the session are a
+	// relocation and split the segment.
+	MaxSpeedMS     float64
+	TeleportSlackM float64
+	// ReorderWindow is how many points per vehicle are buffered to
+	// absorb out-of-order arrivals (default 8). Points that arrive
+	// after their slot left the window are dropped and counted.
+	ReorderWindow int
+	// MinPoints drops closed segments with fewer records (default 2);
+	// a single GPS fix is not evidence of traversal.
+	MinPoints int
+
+	// Match configures the windowed online map matcher; IndexCellM the
+	// spatial index the Ingestor builds over the engine's road network
+	// (default 250). MatchShards bounds map-matching parallelism:
+	// sessions are hashed onto this many matchers (default
+	// GOMAXPROCS).
+	Match       mapmatch.Config
+	IndexCellM  float64
+	MatchShards int
+
+	// MaxBatch flushes the closed-trajectory queue into the engine
+	// once this many accumulate (default 32); FlushAge flushes sooner
+	// when the oldest queued trajectory has waited this long (default
+	// 2s). QueueCap bounds the queue; trajectories closed while it is
+	// full are dropped and counted (default 1024).
+	MaxBatch int
+	FlushAge time.Duration
+	QueueCap int
+
+	// OnTrajectory, when set, observes every closed, matched
+	// trajectory before it is queued for ingestion (logging, tests).
+	// It runs on the pushing goroutine; keep it cheap.
+	OnTrajectory func(vehicle string, t *traj.Trajectory)
+}
+
+func (c Config) withDefaults() Config {
+	if c.GapS == 0 {
+		c.GapS = 300
+	}
+	if c.DwellS == 0 {
+		c.DwellS = 240
+	}
+	if c.DwellRadiusM == 0 {
+		c.DwellRadiusM = 40
+	}
+	if c.MaxSpeedMS == 0 {
+		c.MaxSpeedMS = 70
+	}
+	if c.TeleportSlackM == 0 {
+		c.TeleportSlackM = 50
+	}
+	if c.ReorderWindow == 0 {
+		c.ReorderWindow = 8
+	}
+	if c.MinPoints == 0 {
+		c.MinPoints = 2
+	}
+	if c.IndexCellM == 0 {
+		c.IndexCellM = 250
+	}
+	if c.MatchShards <= 0 {
+		c.MatchShards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.FlushAge == 0 {
+		c.FlushAge = 2 * time.Second
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 1024
+	}
+	return c
+}

@@ -50,6 +50,16 @@ func (t *Trajectory) Path() roadnet.Path {
 	return t.Truth
 }
 
+// Points returns the raw GPS record positions in order — the form the
+// map matcher (offline Match or the streaming OnlineMatcher) consumes.
+func (t *Trajectory) Points() []geo.Point {
+	out := make([]geo.Point, len(t.Records))
+	for i, r := range t.Records {
+		out[i] = r.P
+	}
+	return out
+}
+
 // Duration returns the time between first and last record, in seconds.
 func (t *Trajectory) Duration() float64 {
 	if len(t.Records) < 2 {

@@ -20,11 +20,13 @@
 package l2r
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/roadnet"
 	"repro/internal/serve"
+	"repro/internal/stream"
 	"repro/internal/traj"
 )
 
@@ -226,3 +228,51 @@ func NewFleet(opt ServeOptions) *Fleet { return serve.NewFleet(opt) }
 // NewFleetWatcher creates a watcher that loads every *.l2r in dir as a
 // tenant of fleet and hot-swaps changed files on each Scan.
 func NewFleetWatcher(fleet *Fleet, dir string) *FleetWatcher { return serve.NewWatcher(fleet, dir) }
+
+// Streaming ingestion re-exports. The pipeline turns raw per-vehicle
+// GPS point feeds — the paper's actual input — into trajectory batches
+// for a serving engine: per-vehicle sessionization (gap/dwell/teleport
+// segmentation behind a bounded reorder window), windowed online map
+// matching that equals the offline HMM pass, and adaptive batching
+// that amortizes the copy-on-write snapshot swap across many
+// trajectories. See internal/stream.
+type (
+	// StreamPoint is one raw GPS observation (the NDJSON wire unit).
+	StreamPoint = stream.Point
+	// StreamConfig tunes sessionization, matching and batching.
+	StreamConfig = stream.Config
+	// StreamIngestor is a pipeline bound to one serving engine.
+	StreamIngestor = stream.Ingestor
+	// StreamSessionizer is the standalone sessionization stage.
+	StreamSessionizer = stream.Sessionizer
+	// FleetStreams tracks the per-tenant pipelines of a fleet.
+	FleetStreams = stream.FleetStreams
+	// StreamStats reports pipeline health (in ServeStats.Stream).
+	StreamStats = serve.StreamStats
+)
+
+// AttachStream wires a streaming pipeline into an engine: POST /stream
+// appears on its HTTP API and pipeline health in Stats().Stream. Close
+// the returned ingestor at shutdown.
+func AttachStream(e *Engine, cfg StreamConfig) *StreamIngestor { return stream.Attach(e, cfg) }
+
+// AttachFleetStreams attaches a streaming pipeline to every current
+// and future tenant of a fleet (POST /t/{tenant}/stream).
+func AttachFleetStreams(f *Fleet, cfg StreamConfig) *FleetStreams { return stream.AttachFleet(f, cfg) }
+
+// StreamPointsFrom flattens trajectories into a time-ordered point
+// stream for replay; perTrip keys each trajectory as its own vehicle.
+func StreamPointsFrom(ts []*traj.Trajectory, perTrip bool) []StreamPoint {
+	return stream.PointsFrom(ts, perTrip)
+}
+
+// ReadStreamNDJSON parses a recorded point stream (the POST /stream
+// wire format).
+func ReadStreamNDJSON(r io.Reader) ([]StreamPoint, error) { return stream.ReadNDJSON(r) }
+
+// ReplayStream feeds a time-ordered point stream into a pipeline at a
+// rate multiple of the feed's own clock (<= 0 replays at full speed),
+// closing all sessions at the end.
+func ReplayStream(ctx context.Context, ing *StreamIngestor, pts []StreamPoint, rate float64) int {
+	return stream.Replay(ctx, ing, pts, rate)
+}
