@@ -39,7 +39,18 @@
 // in-flight queries — drop a rebuilt artifact into the directory and
 // its tenant picks it up.
 //
-// The server drains in-flight requests on SIGINT/SIGTERM.
+// With -wal-dir the engine is durable: every ingested batch (HTTP
+// /ingest or the streaming pipeline) is appended to a write-ahead log
+// before the snapshot swap that applies it, checkpoints fold the log
+// into a saved artifact every -checkpoint-every trajectories, and a
+// restart recovers checkpoint + log — live-learned state survives
+// crashes. In fleet mode the directory is a root with one
+// subdirectory per tenant. -wal-sync picks the fsync policy (always |
+// none). See OPERATIONS.md for the runbook.
+//
+// The server drains in-flight requests on SIGINT/SIGTERM; a durable
+// deployment checkpoints on the way down so the next start is
+// replay-free.
 package main
 
 import (
@@ -71,6 +82,9 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 16, "route cache shard count")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	pathEngine := flag.String("path-engine", "dijkstra", "shortest-path backend: dijkstra or ch (contraction hierarchy, built once at startup)")
+	walDir := flag.String("wal-dir", "", "durable ingestion: write-ahead log + checkpoint directory (fleet mode: one subdirectory per tenant); empty disables")
+	checkpointEvery := flag.Int("checkpoint-every", 4096, "durable ingestion: trajectories between automatic checkpoints (negative disables)")
+	walSync := flag.String("wal-sync", "always", "write-ahead log fsync policy: always or none")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	streamOn := flag.Bool("stream", true, "attach the streaming GPS ingestion pipeline (POST /stream)")
 	streamBatch := flag.Int("stream-batch", 32, "stream batching: trajectories per ingest swap")
@@ -91,11 +105,24 @@ func main() {
 		log.Fatalf("unknown -path-engine %q (want dijkstra or ch)", *pathEngine)
 	}
 
+	var syncPolicy l2r.WALSyncPolicy
+	switch *walSync {
+	case "always":
+		syncPolicy = l2r.WALSyncAlways
+	case "none":
+		syncPolicy = l2r.WALSyncNone
+	default:
+		log.Fatalf("unknown -wal-sync %q (want always or none)", *walSync)
+	}
+
 	opt := l2r.ServeOptions{
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		CacheShards: *cacheShards,
-		PathBackend: backend,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		CacheShards:     *cacheShards,
+		PathBackend:     backend,
+		WALDir:          *walDir,
+		CheckpointEvery: *checkpointEvery,
+		WALSync:         syncPolicy,
 	}
 
 	streamCfg := l2r.StreamConfig{
@@ -120,7 +147,17 @@ func main() {
 	log.Printf("router ready: %d vertices, %d regions, %d T-edges, %d B-edges",
 		router.Road().NumVertices(), st.Regions, st.TEdges, st.BEdges)
 
-	engine := l2r.NewEngine(router, opt)
+	engine, err := l2r.NewDurableEngine(router, opt)
+	if err != nil {
+		log.Fatalf("recovering %s: %v", *walDir, err)
+	}
+	if d := engine.Stats().Durability; d != nil {
+		log.Printf("durable: WAL at %s (sync %s, checkpoint every %d trajectories)", *walDir, syncPolicy, *checkpointEvery)
+		if d.RecoveredFromCheckpoint || d.ReplayedRecords > 0 {
+			log.Printf("recovered: checkpoint=%v, %d WAL records (%d trajectories) replayed, torn tail truncated=%v",
+				d.RecoveredFromCheckpoint, d.ReplayedRecords, d.ReplayedTrajectories, d.TornTailTruncated)
+		}
+	}
 	if backend == l2r.BackendCH {
 		st = router.Stats()
 		log.Printf("path engine: contraction hierarchy (%d shortcuts, built in %s)",
@@ -152,6 +189,16 @@ func main() {
 
 	log.Printf("serving on %s (cache %d entries / %d shards)", *addr, *cacheSize, *cacheShards)
 	serveAndDrain(*addr, engine.Handler(), *drain, background)
+	if engine.Durable() {
+		// A planned shutdown checkpoints so the next start replays
+		// nothing; a crash skips this and replays the WAL instead.
+		if err := engine.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		} else {
+			log.Printf("final checkpoint written; restart will be replay-free")
+		}
+		engine.Close()
+	}
 	final := engine.Stats()
 	log.Printf("served %d queries (%.1f qps, cache hit rate %.1f%%, %d coalesced, generation %d, %d ingests)",
 		final.Queries, final.QPS, 100*final.CacheHitRate, final.CoalescedQueries,
@@ -229,6 +276,10 @@ func serveFleet(addr, dir string, reload, drain time.Duration, opt l2r.ServeOpti
 		snap := e.Snapshot()
 		log.Printf("tenant %q: %d vertices, %d regions (artifact generation %d)",
 			name, snap.Road().NumVertices(), snap.Stats().Regions, snap.Meta().Generation)
+		if d := e.Stats().Durability; d != nil && (d.RecoveredFromCheckpoint || d.ReplayedRecords > 0) {
+			log.Printf("tenant %q recovered: checkpoint=%v, %d WAL records (%d trajectories) replayed",
+				name, d.RecoveredFromCheckpoint, d.ReplayedRecords, d.ReplayedTrajectories)
+		}
 	}
 
 	log.Printf("serving fleet of %d tenants on %s (rescan every %v): /t/{tenant}/route, /tenants, /stats",
@@ -236,6 +287,17 @@ func serveFleet(addr, dir string, reload, drain time.Duration, opt l2r.ServeOpti
 	serveAndDrain(addr, fleet.Handler(), drain, func(ctx context.Context) {
 		watcher.Watch(ctx, reload)
 	})
+	if opt.WALDir != "" {
+		for _, name := range fleet.Names() {
+			if e, ok := fleet.Get(name); ok && e.Durable() {
+				if err := e.Checkpoint(); err != nil {
+					log.Printf("tenant %q final checkpoint: %v", name, err)
+				}
+			}
+		}
+		fleet.Close()
+		log.Printf("final checkpoints written; restart will be replay-free")
+	}
 	final := fleet.Stats()
 	log.Printf("served %d queries across %d tenants (%.1f qps, cache hit rate %.1f%%, %d coalesced, %d ingests)",
 		final.Queries, final.Tenants, final.QPS, 100*final.CacheHitRate,

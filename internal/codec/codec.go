@@ -12,12 +12,20 @@ import (
 
 var magic = [4]byte{'L', '2', 'R', 'A'}
 
-// Errors returned by ReadFrame. Wrapped with context; test with
-// errors.Is.
+// recMagic opens every record written by WriteRecord; a stream
+// positioned anywhere else fails fast instead of decoding garbage.
+var recMagic = [2]byte{'L', 'W'}
+
+// Errors returned by ReadFrame and ReadRecord. Wrapped with context;
+// test with errors.Is.
 var (
 	ErrBadMagic   = errors.New("codec: bad magic (not an L2R artifact)")
 	ErrBadVersion = errors.New("codec: unsupported artifact version")
 	ErrCorrupt    = errors.New("codec: checksum mismatch (artifact corrupted)")
+	// ErrTorn marks a record whose bytes run out before its declared
+	// length — the signature of a crash mid-append. Unlike ErrCorrupt
+	// it is recoverable: everything before the torn record is intact.
+	ErrTorn = errors.New("codec: torn record (truncated mid-write)")
 )
 
 // WriteFrame gob-encodes payload and writes one checksummed frame.
@@ -48,6 +56,22 @@ func WriteFrame(w io.Writer, version uint16, payload any) error {
 func ReadFrame(r io.Reader, version uint16, out any) error {
 	_, err := ReadFrameVersions(r, out, version)
 	return err
+}
+
+// FrameHeaderLen is the on-disk size of a frame header (magic,
+// version, payload length, checksum).
+const FrameHeaderLen = 4 + 2 + 8 + 8
+
+// FrameLen inspects a frame header prefix and returns the total
+// on-disk frame length (header + payload). ok is false when b is
+// shorter than a header or does not start with the frame magic —
+// callers distinguishing "file truncated inside its first frame" from
+// "file corrupt" use it before paying for a full ReadFrame.
+func FrameLen(b []byte) (n int64, ok bool) {
+	if len(b) < FrameHeaderLen || !bytes.Equal(b[:4], magic[:]) {
+		return 0, false
+	}
+	return FrameHeaderLen + int64(binary.BigEndian.Uint64(b[6:14])), true
 }
 
 // ReadFrameVersions reads one frame accepting any of the listed
@@ -92,4 +116,91 @@ func ReadFrameVersions(r io.Reader, out any, versions ...uint16) (uint16, error)
 		return 0, fmt.Errorf("codec: decoding payload: %w", err)
 	}
 	return version, nil
+}
+
+// Record framing — the unit of append-only logs (internal/wal). A
+// record is one length-prefixed, checksummed, sequence-numbered blob:
+//
+//	[2]magic | uint32 len | uint64 seq | uint64 fnv64a(payload) | uint64 fnv64a(header) | payload
+//
+// The header carries its own checksum so a bit flip in the length
+// field reads as corruption (fail loud), not as a record that happens
+// to run past the end of the file (which would be silently "torn" and
+// truncate good data after it). Unlike frames, records carry no
+// version (the log file's header frame does) and are written in a
+// single Write call so a crash tears at most the final record.
+
+// maxRecord bounds a single record's payload; larger lengths are
+// treated as corruption rather than allocated.
+const maxRecord = 1 << 30
+
+// recHeaderLen is the on-disk size of a record header: magic, payload
+// length, sequence, payload checksum, header checksum.
+const recHeaderLen = 2 + 4 + 8 + 8 + 8
+
+// RecordLen returns the on-disk size of a record with the given
+// payload length.
+func RecordLen(payloadLen int) int64 { return int64(recHeaderLen + payloadLen) }
+
+// WriteRecord appends one record to w. Header and payload go out in
+// one Write so a crash mid-append leaves a torn tail, never an
+// interior hole.
+func WriteRecord(w io.Writer, seq uint64, payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("codec: record payload %d exceeds %d bytes", len(payload), maxRecord)
+	}
+	buf := make([]byte, recHeaderLen+len(payload))
+	copy(buf[:2], recMagic[:])
+	binary.BigEndian.PutUint32(buf[2:6], uint32(len(payload)))
+	binary.BigEndian.PutUint64(buf[6:14], seq)
+	h := fnv.New64a()
+	h.Write(payload)
+	binary.BigEndian.PutUint64(buf[14:22], h.Sum64())
+	h = fnv.New64a()
+	h.Write(buf[:22])
+	binary.BigEndian.PutUint64(buf[22:30], h.Sum64())
+	copy(buf[recHeaderLen:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("codec: writing record: %w", err)
+	}
+	return nil
+}
+
+// ReadRecord reads the next record from r. It returns io.EOF at a
+// clean end of stream, ErrTorn (wrapped) when a record with a valid
+// header runs out of bytes — the signature of a crash mid-append — and
+// ErrCorrupt (wrapped) when the bytes are wrong: bad magic, a header
+// or payload checksum mismatch, an implausible length.
+func ReadRecord(r io.Reader) (seq uint64, payload []byte, err error) {
+	var header [recHeaderLen]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: short header: %v", ErrTorn, err)
+	}
+	if !bytes.Equal(header[:2], recMagic[:]) {
+		return 0, nil, fmt.Errorf("%w: bad record magic", ErrCorrupt)
+	}
+	h := fnv.New64a()
+	h.Write(header[:22])
+	if h.Sum64() != binary.BigEndian.Uint64(header[22:30]) {
+		return 0, nil, fmt.Errorf("%w: record header checksum mismatch", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(header[2:6])
+	if n > maxRecord {
+		return 0, nil, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, n)
+	}
+	seq = binary.BigEndian.Uint64(header[6:14])
+	want := binary.BigEndian.Uint64(header[14:22])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: short payload: %v", ErrTorn, err)
+	}
+	h = fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != want {
+		return 0, nil, fmt.Errorf("%w: record %d", ErrCorrupt, seq)
+	}
+	return seq, payload, nil
 }

@@ -195,3 +195,64 @@ func TestWriteErrorsPropagate(t *testing.T) {
 		}
 	}
 }
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("a longer record payload with bytes \x00\xff")}
+	for i, p := range payloads {
+		if err := WriteRecord(&buf, uint64(i+10), p); err != nil {
+			t.Fatalf("WriteRecord %d: %v", i, err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, p := range payloads {
+		seq, got, err := ReadRecord(r)
+		if err != nil {
+			t.Fatalf("ReadRecord %d: %v", i, err)
+		}
+		if seq != uint64(i+10) || !bytes.Equal(got, p) {
+			t.Fatalf("record %d = (seq %d, %q)", i, seq, got)
+		}
+	}
+	if _, _, err := ReadRecord(r); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+func TestRecordTornVsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, 0, []byte("payload payload payload")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Any strict prefix of a record is torn, not corrupt.
+	for _, cut := range []int{1, 10, len(whole) - 1} {
+		_, _, err := ReadRecord(bytes.NewReader(whole[:cut]))
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("prefix %d: err = %v, want ErrTorn", cut, err)
+		}
+	}
+	// A flipped payload byte is corrupt, not torn.
+	bad := append([]byte(nil), whole...)
+	bad[len(bad)-3] ^= 0xff
+	if _, _, err := ReadRecord(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload: err = %v, want ErrCorrupt", err)
+	}
+	// A flipped magic byte is corrupt.
+	bad = append([]byte(nil), whole...)
+	bad[0] ^= 0xff
+	if _, _, err := ReadRecord(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped magic: err = %v, want ErrCorrupt", err)
+	}
+	// A flipped length byte must read as corruption (header checksum),
+	// NOT as a torn record that happens to run past the end of the
+	// stream — that would silently truncate everything after it.
+	for off := 2; off < 6; off++ {
+		bad = append([]byte(nil), whole...)
+		bad[off] ^= 0xff
+		if _, _, err := ReadRecord(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flipped length byte %d: err = %v, want ErrCorrupt", off, err)
+		}
+	}
+}

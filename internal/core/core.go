@@ -207,6 +207,13 @@ func (r *Router) Meta() ArtifactMeta { return r.meta }
 // persisted by Save and keys the router in multi-tenant fleets.
 func (r *Router) SetName(name string) { r.meta.Name = name }
 
+// SetGeneration positions the router in its artifact lineage: the next
+// Save stamps gen+1. Checkpointing (internal/wal + serve durability)
+// saves throwaway clones of the serving snapshot, so each clone must
+// inherit the lineage position the previous checkpoint reached rather
+// than the base router's never-advancing copy.
+func (r *Router) SetGeneration(gen uint64) { r.meta.Generation = gen }
+
 // LearnedPreference returns the learned preference for a T-edge ID.
 func (r *Router) LearnedPreference(edgeID int) (pref.Result, bool) {
 	res, ok := r.learned[edgeID]

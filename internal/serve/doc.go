@@ -55,8 +55,23 @@
 // swap instead of /ingest's one per request — and its health rides in
 // Stats().Stream as StreamStats.
 //
+// # Durability
+//
+// By itself the snapshot machinery is a cache: a restart rolls the
+// router back to its build artifact. NewDurableEngine attaches
+// internal/wal underneath the write path — every ingest batch is
+// appended to a write-ahead log *before* the swap that applies it,
+// periodic checkpoints fold the log into a saved artifact, and a
+// restart recovers checkpoint + log tail (verifying road identity,
+// tolerating a torn final record, refusing corruption) so
+// live-learned state survives crashes. Fleets journal per tenant
+// under Options.WALDir; Publish folds a hot artifact reload into a
+// fresh checkpoint so stale pre-reload batches are never replayed
+// onto a post-reload base. OPERATIONS.md at the repository root is
+// the operator-facing runbook.
+//
 // Serving metrics (QPS, per-category latency quantiles, cache hit
 // rate, coalesced and computed query counts, snapshot generation,
-// ingest lag) are exposed per engine (Stats) and aggregated per fleet
-// (FleetStats).
+// ingest lag, durability counters) are exposed per engine (Stats) and
+// aggregated per fleet (FleetStats).
 package serve

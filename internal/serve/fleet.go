@@ -63,35 +63,60 @@ func NewFleet(opt Options) *Fleet {
 }
 
 // validTenantName rejects names that cannot be addressed as one URL
-// path segment.
+// path segment, or that would escape the fleet's per-tenant WAL root
+// as a relative path component.
 func validTenantName(name string) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty tenant name")
 	}
-	if strings.ContainsAny(name, "/?#%") {
+	if name == "." || name == ".." {
+		return fmt.Errorf("serve: tenant name %q is a relative path component", name)
+	}
+	if strings.ContainsAny(name, "/?#%\\") {
 		return fmt.Errorf("serve: tenant name %q contains URL-reserved characters", name)
 	}
 	return nil
 }
 
+// tenantOptions derives one tenant's engine options from the fleet's:
+// with durability configured, Options.WALDir is a root and each tenant
+// logs and checkpoints under its own subdirectory.
+func (f *Fleet) tenantOptions(name string) Options {
+	opt := f.opt
+	if opt.WALDir != "" {
+		opt.WALDir = filepath.Join(f.opt.WALDir, name)
+	}
+	return opt
+}
+
 // Add registers a built router as a new tenant and returns its engine.
 // The fleet takes ownership of r. Adding a name that already exists is
 // an error — use Publish to hot-swap an existing tenant's artifact.
+// With durability configured (Options.WALDir), the tenant's engine
+// recovers its per-tenant WAL directory before serving; recovery
+// failures (a corrupt log, a foreign road network) are returned rather
+// than served around.
 func (f *Fleet) Add(name string, r *core.Router) (*Engine, error) {
 	if err := validTenantName(name); err != nil {
 		return nil, err
 	}
-	// Cheap pre-check before NewEngine, which may run minutes of CH
-	// preprocessing (and mutates r) — ownership must not be touched
-	// when the add is doomed. The authoritative check under the write
-	// lock below still catches a racing Add.
+	// Cheap pre-check before engine construction, which may run
+	// minutes of CH preprocessing (and mutates r) — ownership must not
+	// be touched when the add is doomed. The authoritative check under
+	// the write lock below still catches a racing Add.
 	if _, ok := f.Get(name); ok {
 		return nil, fmt.Errorf("serve: tenant %q already exists", name)
 	}
-	e := NewEngine(r, f.opt)
+	e, err := NewDurableEngine(r, f.tenantOptions(name))
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenant %q: %w", name, err)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if _, ok := f.tenants[name]; ok {
+		// Lost a race with a concurrent Add/Publish of the same name;
+		// release the loser's WAL handle rather than leaking it.
+		e.Close()
 		return nil, fmt.Errorf("serve: tenant %q already exists", name)
 	}
 	f.tenants[name] = newTenant(name, e)
@@ -114,15 +139,23 @@ func (f *Fleet) Publish(name string, r *core.Router) (uint64, error) {
 	}
 	if f.opt.PathBackend == core.BackendCH {
 		// Upgrade before the router sees traffic; a no-op when r was
-		// built CH-backed. NewEngine would do this for a new tenant,
-		// but Engine.Publish intentionally does not touch the router.
+		// built CH-backed. Engine construction would do this for a new
+		// tenant, but Engine.Publish intentionally does not touch the
+		// router.
 		r.EnableCH(f.opt.CH)
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	t, ok := f.tenants[name]
 	if !ok {
-		e := NewEngine(r, f.opt)
+		// A new tenant goes through durable construction: if its WAL
+		// directory holds a checkpoint + log from a previous process,
+		// the tenant recovers that live state rather than serving the
+		// bare artifact.
+		e, err := NewDurableEngine(r, f.tenantOptions(name))
+		if err != nil {
+			return 0, fmt.Errorf("serve: tenant %q: %w", name, err)
+		}
 		f.tenants[name] = newTenant(name, e)
 		if f.OnCreate != nil {
 			f.OnCreate(name, e)
@@ -188,6 +221,19 @@ func (f *Fleet) Len() int {
 	return len(f.tenants)
 }
 
+// Close releases every tenant engine's durability resources (WAL file
+// handles). It does not checkpoint — call each engine's Checkpoint
+// first for replay-free restarts. A no-op for non-durable fleets.
+func (f *Fleet) Close() error {
+	var first error
+	for _, e := range f.snapshotEngines() {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // FleetStats aggregates serving health across tenants.
 type FleetStats struct {
 	// Uptime is the time since the fleet was created.
@@ -205,6 +251,13 @@ type FleetStats struct {
 	RouteComputations uint64  `json:"route_computations"`
 	CoalescedQueries  uint64  `json:"coalesced_queries"`
 	Ingests           uint64  `json:"ingests"`
+
+	// WALRecords, WALAppendFailures and Checkpoints sum the durability
+	// counters across durable tenants (zero for non-durable fleets);
+	// per-tenant recovery facts live in PerTenant[...].Durability.
+	WALRecords        uint64 `json:"wal_records"`
+	WALAppendFailures uint64 `json:"wal_append_failures"`
+	Checkpoints       uint64 `json:"checkpoints"`
 
 	// PerTenant holds each tenant's full serving stats, keyed by name.
 	PerTenant map[string]Stats `json:"per_tenant"`
@@ -227,6 +280,11 @@ func (f *Fleet) Stats() FleetStats {
 		fs.RouteComputations += st.RouteComputations
 		fs.CoalescedQueries += st.CoalescedQueries
 		fs.Ingests += st.Ingests
+		if st.Durability != nil {
+			fs.WALRecords += st.Durability.WALRecords
+			fs.WALAppendFailures += st.Durability.WALAppendFailures
+			fs.Checkpoints += st.Durability.Checkpoints
+		}
 	}
 	if fs.Uptime > 0 {
 		fs.QPS = float64(fs.Queries) / fs.Uptime.Seconds()

@@ -50,6 +50,13 @@ type ingestReply struct {
 	RebuildRecommended bool    `json:"rebuild_recommended"`
 	ElapsedMs          float64 `json:"elapsed_ms"`
 	Generation         uint64  `json:"generation"`
+	// Durable reports that this batch was appended (and, under
+	// wal.SyncAlways, fsynced) to the engine's write-ahead log before
+	// the swap: it survives a restart. False when the engine has no
+	// WAL configured, or when the append failed (check the stats
+	// counter wal_append_failures) — either way the batch serves from
+	// memory only.
+	Durable bool `json:"durable"`
 }
 
 // streamAttachment couples the streaming pipeline's HTTP front-end
@@ -79,6 +86,11 @@ func (e *Engine) AttachStream(h http.Handler, src StreamSource) {
 //
 // Every endpoint's request body is bounded by Options.MaxBodyBytes;
 // larger bodies are rejected with 413.
+//
+// While a durable engine's asynchronous recovery is still replaying
+// the write-ahead log (Ready() is false), every endpoint answers 503
+// — including /healthz, whose body reports "recovering" so load
+// balancers keep traffic away until replay completes.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/route", e.handleRoute)
@@ -89,6 +101,17 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("/healthz", e.handleHealthz)
 	limit := e.opt.MaxBodyBytes
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !e.ready.Load() {
+			if r.URL.Path == "/healthz" {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+					"status":  "recovering",
+					"durable": e.Durable(),
+				})
+				return
+			}
+			writeError(w, http.StatusServiceUnavailable, "recovery in progress: replaying the write-ahead log")
+			return
+		}
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, limit)
 		}
@@ -272,7 +295,7 @@ func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// trusts them as ground truth.
 	opt := e.opt.Ingest
 	opt.SkipMapMatching = true
-	st, gen := e.ingest(ts, opt)
+	st, gen, durable := e.ingestDurable(ts, opt)
 	writeJSON(w, http.StatusOK, ingestReply{
 		Paths:              st.Paths,
 		TouchedEdges:       len(st.TouchedEdges),
@@ -283,6 +306,7 @@ func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
 		RebuildRecommended: st.RebuildRecommended,
 		ElapsedMs:          float64(st.Elapsed.Microseconds()) / 1000,
 		Generation:         gen,
+		Durable:            durable,
 	})
 }
 
@@ -307,5 +331,6 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"generation": e.Generation(),
+		"durable":    e.Durable(),
 	})
 }

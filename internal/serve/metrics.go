@@ -183,10 +183,15 @@ type Stats struct {
 	// Stream reports the attached streaming ingestion pipeline; nil
 	// when none is attached.
 	Stream *StreamStats `json:"stream,omitempty"`
+
+	// Durability reports the write-ahead-log attachment (appends,
+	// checkpoints, recovery facts); nil on non-durable engines.
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // Stats gathers a consistent-enough snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
+	e.waitReady()
 	now := time.Now()
 	st := Stats{
 		Uptime:               now.Sub(e.start),
@@ -220,6 +225,10 @@ func (e *Engine) Stats() Stats {
 	if at := e.stream.Load(); at != nil && at.source != nil {
 		ss := at.source.StreamStats()
 		st.Stream = &ss
+	}
+	if e.dur != nil {
+		ds := e.dur.stats()
+		st.Durability = &ds
 	}
 	return st
 }

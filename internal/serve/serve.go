@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
+	"repro/internal/wal"
 )
 
 // Options configures an Engine.
@@ -47,6 +48,38 @@ type Options struct {
 	// == core.BackendCH triggers (mirrors core.Options.CH); the zero
 	// value is usable.
 	CH ch.Config
+
+	// WALDir enables durable ingestion: every ingest batch is appended
+	// to a write-ahead log in this directory *before* the snapshot swap
+	// that applies it, periodic checkpoints fold the log into a saved
+	// artifact, and NewDurableEngine recovers checkpoint + log on
+	// restart. Empty disables durability. Engines with a WALDir must be
+	// built with NewDurableEngine — NewEngine ignores it. For a Fleet
+	// the directory is a root: each tenant logs under WALDir/<tenant>/.
+	WALDir string
+	// CheckpointEvery is the number of trajectories appended to the WAL
+	// between automatic checkpoints (default 4096). Negative disables
+	// automatic checkpointing; Engine.Checkpoint still works. A
+	// checkpoint runs on the write path (queries are unaffected, ingest
+	// briefly stalls) and bounds both WAL disk growth and restart
+	// replay time.
+	CheckpointEvery int
+	// WALSync selects the append fsync policy: wal.SyncAlways (the
+	// default — a batch reported durable survives machine crashes) or
+	// wal.SyncNone (page-cache durability: survives a process kill,
+	// may lose the last seconds on power loss).
+	WALSync wal.SyncPolicy
+	// AsyncRecovery makes NewDurableEngine return before WAL replay
+	// finishes applying: the log is scanned and verified synchronously
+	// (corruption still fails construction), but batches are replayed
+	// on a background goroutine. Until replay completes the engine is
+	// not Ready: HTTP endpoints answer 503 and library calls block.
+	AsyncRecovery bool
+
+	// recoverHold, when set (tests only), is waited on before an async
+	// recovery starts applying batches, making the recovering window
+	// observable deterministically.
+	recoverHold chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 4096
 	}
 	return o
 }
@@ -110,6 +146,14 @@ type Engine struct {
 	stream  atomic.Pointer[streamAttachment]
 	trajSeq atomic.Uint64
 
+	// dur is the optional durability attachment (write-ahead log +
+	// checkpointing); ready flips once the first snapshot is published
+	// — immediately for NewEngine, after WAL replay for
+	// NewDurableEngine (readyCh closes at the same moment).
+	dur     *durability
+	ready   atomic.Bool
+	readyCh chan struct{}
+
 	start         time.Time
 	ingests       atomic.Uint64
 	ingestedTrajs atomic.Uint64
@@ -119,6 +163,8 @@ type Engine struct {
 
 // NewEngine wraps a built router for serving. The engine takes
 // ownership: the caller must not mutate r (or Clones of it) afterwards.
+// Durability options (Options.WALDir) are ignored here — use
+// NewDurableEngine, which can fail on recovery.
 func NewEngine(r *core.Router, opt Options) *Engine {
 	opt = opt.withDefaults()
 	if opt.PathBackend == core.BackendCH {
@@ -126,27 +172,62 @@ func NewEngine(r *core.Router, opt Options) *Engine {
 		// no-op when the router was already built with BackendCH.
 		r.EnableCH(opt.CH)
 	}
-	e := &Engine{opt: opt, start: time.Now()}
+	e := newBareEngine(opt)
+	e.publishInitial(r)
+	return e
+}
+
+// newBareEngine builds an engine with no snapshot yet — not Ready
+// until publishInitial runs.
+func newBareEngine(opt Options) *Engine {
+	e := &Engine{opt: opt, start: time.Now(), readyCh: make(chan struct{})}
 	if opt.CacheSize > 0 {
 		e.cache = newRouteCache(opt.CacheSize, opt.CacheShards)
 		if !opt.NoCoalesce {
 			e.flights = newFlightGroup()
 		}
 	}
+	return e
+}
+
+// publishInitial installs generation 1 and marks the engine ready.
+func (e *Engine) publishInitial(r *core.Router) {
 	e.snap.Store(newSnapshot(r, 1))
 	e.lastSwapUnix.Store(time.Now().UnixNano())
-	return e
+	e.ready.Store(true)
+	close(e.readyCh)
+}
+
+// Ready reports whether the engine is serving. It is false only while
+// a NewDurableEngine recovery with Options.AsyncRecovery is still
+// replaying the write-ahead log; the HTTP API answers 503 in that
+// window, and library query/ingest calls block until ready.
+func (e *Engine) Ready() bool { return e.ready.Load() }
+
+// waitReady blocks until the first snapshot is published. A no-op
+// (one atomic load) on the fast path.
+func (e *Engine) waitReady() {
+	if e.ready.Load() {
+		return
+	}
+	<-e.readyCh
 }
 
 // Generation returns the current snapshot generation. It starts at 1
 // and increments on every Ingest or Publish.
-func (e *Engine) Generation() uint64 { return e.snap.Load().gen }
+func (e *Engine) Generation() uint64 {
+	e.waitReady()
+	return e.snap.Load().gen
+}
 
 // Snapshot returns the current generation's router for read-only use
 // (inspection, stats). Callers must not mutate it and must not call its
 // query methods concurrently with anything else; borrow a view through
 // Route/RouteK instead.
-func (e *Engine) Snapshot() *core.Router { return e.snap.Load().base }
+func (e *Engine) Snapshot() *core.Router {
+	e.waitReady()
+	return e.snap.Load().base
+}
 
 // Route answers one routing query. The boolean reports whether the
 // answer was shared rather than computed for this caller — a route
@@ -173,6 +254,7 @@ func (e *Engine) routeK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool,
 	if k < 1 {
 		k = 1
 	}
+	e.waitReady()
 	start := time.Now()
 	snap := e.snap.Load()
 	key := cacheKey{s: s, d: d, k: int32(k)}
@@ -234,8 +316,27 @@ func (e *Engine) Ingest(ts []*traj.Trajectory) core.IngestStats {
 // ingest additionally reports the generation it published — reading
 // Generation() afterwards could observe a later concurrent swap.
 func (e *Engine) ingest(ts []*traj.Trajectory, opt core.IngestOptions) (core.IngestStats, uint64) {
+	st, gen, _ := e.ingestDurable(ts, opt)
+	return st, gen
+}
+
+// ingestDurable is the full write path. With durability attached, the
+// batch is appended to the write-ahead log *before* the snapshot swap
+// (rule 5 of the snapshot contract: a crash after the append replays
+// the batch; a crash before it never served the batch), and a
+// checkpoint runs afterwards when enough trajectories have accumulated.
+// durable reports whether the append (and its fsync, under SyncAlways)
+// succeeded; an append failure is counted and the batch still serves
+// from memory, so ingestion degrades to pre-WAL behavior rather than
+// dropping data on a full disk.
+func (e *Engine) ingestDurable(ts []*traj.Trajectory, opt core.IngestOptions) (core.IngestStats, uint64, bool) {
+	e.waitReady()
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
+	durable := false
+	if e.dur != nil {
+		durable = e.dur.append(wal.Batch{SkipMapMatching: opt.SkipMapMatching, Trajs: ts})
+	}
 	start := time.Now()
 	cur := e.snap.Load()
 	next := cur.base.DeepClone()
@@ -245,7 +346,10 @@ func (e *Engine) ingest(ts []*traj.Trajectory, opt core.IngestOptions) (core.Ing
 	e.lastIngestNs.Store(int64(time.Since(start)))
 	e.ingests.Add(1)
 	e.ingestedTrajs.Add(uint64(len(ts)))
-	return st, cur.gen + 1
+	if e.dur != nil && durable {
+		e.dur.maybeCheckpoint(next, e.trajSeq.Load())
+	}
+	return st, cur.gen + 1, durable
 }
 
 // NextTrajectoryID returns the next engine-unique trajectory ID. All
@@ -266,12 +370,34 @@ func (e *Engine) IngestMatched(ts []*traj.Trajectory) (core.IngestStats, uint64)
 }
 
 // Publish swaps in an externally built router (e.g. after a full
-// offline rebuild when ingest reports RebuildRecommended) as the next
-// generation. The engine takes ownership of r.
+// offline rebuild when ingest reports RebuildRecommended, or a hot
+// artifact reload) as the next generation. The engine takes ownership
+// of r.
+//
+// On a durable engine, Publish also resets the durability baseline:
+// the WAL tail predates the published router, so r is immediately
+// folded into a fresh checkpoint (continuing r's own artifact lineage)
+// and the log is rotated. A restart therefore recovers the published
+// artifact plus whatever was ingested after it — never stale pre-reload
+// batches replayed onto a post-reload base.
 func (e *Engine) Publish(r *core.Router) {
+	e.waitReady()
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	cur := e.snap.Load()
 	e.snap.Store(newSnapshot(r, cur.gen+1))
 	e.lastSwapUnix.Store(time.Now().UnixNano())
+	if e.dur != nil {
+		// The published router may sit on a different road network
+		// than the one the log was bound to (an artifact swap to a new
+		// world); rebind so the checkpoint and the rotated log header
+		// carry the identity recovery will verify against.
+		if id, err := wal.IdentityOf(r.Road()); err == nil {
+			e.dur.log.Rebind(id)
+		} else {
+			e.dur.checkpointFailures.Add(1)
+		}
+		e.dur.ckptGen.Store(r.Meta().Generation)
+		e.dur.checkpointLocked(r, e.trajSeq.Load())
+	}
 }

@@ -20,6 +20,12 @@ type streamReply struct {
 	// engine.
 	Closed  bool `json:"closed,omitempty"`
 	Flushed int  `json:"flushed,omitempty"`
+	// Durable reports that the engine journals ingested batches to a
+	// write-ahead log: trajectories closed from these points will be
+	// appended to it when their batch flushes, and so survive a
+	// restart. False means a restart loses whatever this stream
+	// teaches the router.
+	Durable bool `json:"durable"`
 }
 
 // Handler returns the pipeline's NDJSON ingestion endpoint, mounted as
@@ -79,6 +85,7 @@ func (ing *Ingestor) Handler() http.Handler {
 			reply.Flushed = ing.Flush()
 		}
 		reply.Vehicles = len(seen)
+		reply.Durable = ing.eng.Durable()
 		serve.WriteJSON(w, http.StatusOK, reply)
 	})
 }

@@ -360,3 +360,40 @@ func TestStreamHTTPControlRecords(t *testing.T) {
 		t.Fatalf("emitted %d but flushed %d", em, reply.Flushed)
 	}
 }
+
+// TestStreamHTTPDurableField: the /stream reply reports whether the
+// engine journals ingested batches to a write-ahead log.
+func TestStreamHTTPDurableField(t *testing.T) {
+	_, router, _ := buildStreamWorld(t, 43, 120)
+	post := func(e *serve.Engine) bool {
+		ing := Attach(e, Config{})
+		defer ing.Close()
+		srv := httptest.NewServer(e.Handler())
+		defer srv.Close()
+		resp, err := http.Post(srv.URL+"/stream", "application/x-ndjson",
+			strings.NewReader(`{"vehicle":"v1","t":1,"x":10,"y":10}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var reply struct {
+			Durable bool `json:"durable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply.Durable
+	}
+
+	durable, err := serve.NewDurableEngine(router.DeepClone(), serve.Options{WALDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer durable.Close()
+	if !post(durable) {
+		t.Fatal("durable engine /stream reply says durable=false")
+	}
+	if post(serve.NewEngine(router.DeepClone(), serve.Options{})) {
+		t.Fatal("plain engine /stream reply says durable=true")
+	}
+}

@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkWALAppend measures append throughput per fsync policy: the
+// cost the serving write path pays, per batch of 16 trajectories,
+// before each copy-on-write snapshot swap. trajs/s is the headline
+// number in BENCH_wal.json.
+func BenchmarkWALAppend(b *testing.B) {
+	road, ts := testWorld(b, 1)
+	const batchTrajs = 16
+	batch := Batch{SkipMapMatching: true}
+	for i := 0; i < batchTrajs; i++ {
+		batch.Trajs = append(batch.Trajs, ts[i%len(ts)])
+	}
+	for _, policy := range []SyncPolicy{SyncNone, SyncAlways} {
+		b.Run(fmt.Sprintf("sync=%s", policy), func(b *testing.B) {
+			dir := b.TempDir()
+			l, _, err := Open(dir, mustID(b, road), policy, 0, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batchTrajs)*float64(b.N)/b.Elapsed().Seconds(), "trajs/s")
+		})
+	}
+}
+
+// BenchmarkWALRecovery measures a restart's replay scan: verify and
+// decode a 256-record log end to end (the part of recovery the WAL
+// owns; applying the batches is the router's usual ingest cost).
+func BenchmarkWALRecovery(b *testing.B) {
+	road, ts := testWorld(b, 2)
+	dir := b.TempDir()
+	l, _, err := Open(dir, mustID(b, road), SyncNone, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 256
+	for i := 0; i < records; i++ {
+		if _, err := l.Append(batchOf(ts[i%len(ts):i%len(ts)+1], i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		l, ri, err := Open(dir, mustID(b, road), SyncNone, 0, func(uint64, Batch) error { n++; return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != records || ri.Records != records {
+			b.Fatalf("replayed %d records, want %d", n, records)
+		}
+		l.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}

@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// CheckpointName is the checkpoint's file name inside a WAL directory.
+const CheckpointName = "checkpoint.l2r"
+
+// checkpointVersion versions the checkpoint wrapper frame (the router
+// inside it carries its own core artifact version).
+const checkpointVersion uint16 = 1
+
+// checkpointEnvelope wraps the core v2 artifact with the WAL position
+// it covers. Keeping the sequence inside the same atomically-renamed
+// file closes the crash window between "checkpoint written" and "log
+// rotated": recovery skips log records below Seq whether or not the
+// rotation landed.
+type checkpointEnvelope struct {
+	// Seq is the first WAL sequence NOT folded into the artifact:
+	// recovery replays records with sequence >= Seq on top of it.
+	Seq uint64
+	// NextTrajectoryID is the engine's trajectory-ID counter at
+	// checkpoint time, so IDs handed out after a restart never collide
+	// with ones already folded into the artifact.
+	NextTrajectoryID uint64
+	// RoadHash is the identity of the road network the artifact sits
+	// on, precomputed so recovery can verify it against the configured
+	// base without re-serializing the checkpoint's network.
+	RoadHash uint64
+	// Artifact is the router in the standard core artifact envelope
+	// (Router.Save bytes — loadable by core.Load on its own).
+	Artifact []byte
+}
+
+// Checkpoint is a loaded checkpoint: the recovered router plus the
+// envelope's bookkeeping.
+type Checkpoint struct {
+	Router           *core.Router
+	Seq              uint64
+	NextTrajectoryID uint64
+	RoadHash         uint64
+}
+
+// WriteCheckpoint persists r as dir's checkpoint covering every WAL
+// record below seq, recording the engine's trajectory-ID watermark and
+// the road-network identity alongside. The router goes through
+// Router.Save — the core v2 artifact envelope, save generation
+// advanced — wrapped with that bookkeeping, written to a temp file and
+// atomically renamed, so a crash mid-checkpoint leaves the previous
+// checkpoint intact.
+func WriteCheckpoint(dir string, r *core.Router, seq, nextTrajID uint64, road NetworkID) error {
+	var art bytes.Buffer
+	if err := r.Save(&art); err != nil {
+		return fmt.Errorf("wal: checkpoint save: %w", err)
+	}
+	env := checkpointEnvelope{Seq: seq, NextTrajectoryID: nextTrajID, RoadHash: road.Hash, Artifact: art.Bytes()}
+	tmp, err := os.CreateTemp(dir, CheckpointName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := codec.WriteFrame(tmp, checkpointVersion, &env); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, CheckpointName)); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ReadCheckpoint loads dir's checkpoint. ok is false when none exists
+// (a cold start); any other failure — unreadable, corrupt, undecodable
+// — is an error, because serving from a base artifact while silently
+// ignoring a checkpoint would roll learned state back.
+func ReadCheckpoint(dir string) (c *Checkpoint, ok bool, err error) {
+	f, err := os.Open(filepath.Join(dir, CheckpointName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("wal: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	var env checkpointEnvelope
+	if err := codec.ReadFrame(f, checkpointVersion, &env); err != nil {
+		return nil, false, fmt.Errorf("wal: reading checkpoint: %w", err)
+	}
+	router, err := core.Load(bytes.NewReader(env.Artifact))
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: loading checkpoint artifact: %w", err)
+	}
+	return &Checkpoint{
+		Router:           router,
+		Seq:              env.Seq,
+		NextTrajectoryID: env.NextTrajectoryID,
+		RoadHash:         env.RoadHash,
+	}, true, nil
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/traj"
+	"repro/internal/wal"
 )
 
 // Re-exported core types. See the internal/core package for full
@@ -197,8 +198,44 @@ type (
 )
 
 // NewEngine wraps a built router for concurrent online serving. The
-// engine takes ownership of r; don't mutate it afterwards.
+// engine takes ownership of r; don't mutate it afterwards. Durability
+// options are ignored here — use NewDurableEngine.
 func NewEngine(r *Router, opt ServeOptions) *Engine { return serve.NewEngine(r, opt) }
+
+// Durability re-exports. With ServeOptions.WALDir set, an engine
+// journals every ingest batch to a write-ahead log *before* the
+// snapshot swap that applies it, periodically folds the log into a
+// checkpoint (the standard artifact envelope), and recovers checkpoint
+// + log on restart — live-learned preference state survives crashes.
+// See internal/wal and OPERATIONS.md.
+
+// NewDurableEngine wraps a built router for serving with durable
+// ingestion, first recovering whatever a previous process left in
+// ServeOptions.WALDir (the latest checkpoint plus the write-ahead-log
+// tail, torn final record tolerated, corruption refused). With an
+// empty WALDir it is exactly NewEngine.
+func NewDurableEngine(r *Router, opt ServeOptions) (*Engine, error) {
+	return serve.NewDurableEngine(r, opt)
+}
+
+// DurabilityStats reports an engine's write-ahead-log attachment
+// (appends, checkpoints, recovery facts); in ServeStats.Durability and
+// under "durability" in /stats.
+type DurabilityStats = serve.DurabilityStats
+
+// WALSyncPolicy selects the write-ahead log's append fsync policy
+// (ServeOptions.WALSync).
+type WALSyncPolicy = wal.SyncPolicy
+
+// WAL fsync policies.
+const (
+	// WALSyncAlways fsyncs every append: batches reported durable
+	// survive machine crashes. The default.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncNone leaves appends to the OS page cache: they survive a
+	// process kill, but a power loss may lose the last seconds.
+	WALSyncNone = wal.SyncNone
+)
 
 // Multi-tenant serving re-exports. A Fleet hosts one named Engine per
 // world — one region graph per city's trajectory set — behind a single
