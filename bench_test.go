@@ -56,7 +56,7 @@ var (
 )
 
 // benchWorld lazily builds the shared compact world.
-func benchWorld(b *testing.B) *exp.World {
+func benchWorld(b testing.TB) *exp.World {
 	b.Helper()
 	worldOnce.Do(func() {
 		road := roadnet.Generate(roadnet.Tiny(5))
@@ -165,7 +165,7 @@ func BenchmarkFig9b(b *testing.B) {
 // --- Fig. 10/11: accuracy ------------------------------------------------
 
 // benchQueries returns the evaluation queries of the bench world.
-func benchQueries(b *testing.B) []eval.Query {
+func benchQueries(b testing.TB) []eval.Query {
 	w := benchWorld(b)
 	r := w.MustRouter()
 	qs := eval.QueriesFrom(w.Road, r, w.Test)

@@ -20,6 +20,10 @@
 //	POST /stream                 NDJSON GPS points (raw feeds)
 //	GET  /stats
 //	GET  /healthz
+//	GET  /metrics                Prometheus text exposition
+//	GET  /debug/trace?n=50       recent request traces (?slow=1 for the
+//	                             slow-query log)
+//	GET  /debug/snapshot         non-blocking engine internals
 //
 // With -stream (the default) a streaming ingestion pipeline is
 // attached: POST /stream accepts raw per-vehicle NDJSON GPS points
@@ -48,6 +52,15 @@
 // subdirectory per tenant. -wal-sync picks the fsync policy (always |
 // none). See OPERATIONS.md for the runbook.
 //
+// Telemetry: every request gets an X-Request-ID (honored when the
+// caller supplies one) and, with -trace (the default), a span-tree
+// trace of its hot-path stages; requests slower than -slow-query land
+// in the slow-query log. One structured access-log line per request
+// goes to stderr (-log-format text|json). -debug-addr starts a
+// second listener with net/http/pprof, expvar and the telemetry
+// endpoints — keep it on localhost or a private interface. See the
+// Monitoring section of OPERATIONS.md.
+//
 // The server drains in-flight requests on SIGINT/SIGTERM; a durable
 // deployment checkpoints on the way down so the next start is
 // replay-free.
@@ -56,10 +69,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -93,7 +109,26 @@ func main() {
 	replayTrips := flag.Int("replay", 0, "replay N freshly simulated trips through the stream pipeline (synthetic worlds only)")
 	replayFile := flag.String("replay-file", "", "replay a recorded NDJSON point log through the stream pipeline")
 	replayRate := flag.Float64("replay-rate", 0, "replay pacing: multiple of the feed's own clock (0 = full speed)")
+	debugAddr := flag.String("debug-addr", "", "separate diagnostics listener (pprof, expvar, /metrics), e.g. localhost:6060; empty disables")
+	traceOn := flag.Bool("trace", true, "record per-request span traces (GET /debug/trace)")
+	traceRing := flag.Int("trace-ring", 256, "completed traces kept for /debug/trace")
+	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "requests at least this slow also land in the slow-query log (negative disables)")
+	logFormat := flag.String("log-format", "text", "access log format: text or json")
 	flag.Parse()
+
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		log.Fatalf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(logHandler)
+
+	tracer := l2r.NewTracer(l2r.TraceConfig{Ring: *traceRing, SlowThreshold: *slowQuery})
+	tracer.SetEnabled(*traceOn)
 
 	var backend l2r.PathBackend
 	switch *pathEngine {
@@ -123,6 +158,7 @@ func main() {
 		WALDir:          *walDir,
 		CheckpointEvery: *checkpointEvery,
 		WALSync:         syncPolicy,
+		Tracer:          tracer,
 	}
 
 	streamCfg := l2r.StreamConfig{
@@ -135,7 +171,7 @@ func main() {
 		if *replayTrips > 0 || *replayFile != "" {
 			log.Fatal("replay modes are single-tenant; in fleet mode feed POST /t/{tenant}/stream instead")
 		}
-		serveFleet(*addr, *artifactDir, *reload, *drain, opt, *streamOn, streamCfg)
+		serveFleet(*addr, *debugAddr, *artifactDir, *reload, *drain, opt, *streamOn, streamCfg, logger)
 		return
 	}
 
@@ -187,8 +223,10 @@ func main() {
 		log.Fatal("replay modes need the stream pipeline; drop -stream=false")
 	}
 
-	log.Printf("serving on %s (cache %d entries / %d shards)", *addr, *cacheSize, *cacheShards)
-	serveAndDrain(*addr, engine.Handler(), *drain, background)
+	api := engine.Handler()
+	startDebugListener(*debugAddr, api)
+	log.Printf("serving on %s (cache %d entries / %d shards, tracing %v)", *addr, *cacheSize, *cacheShards, tracer.Enabled())
+	serveAndDrain(*addr, l2r.AccessLog(logger, api), *drain, background)
 	if engine.Durable() {
 		// A planned shutdown checkpoints so the next start replays
 		// nothing; a crash skips this and replays the WAL instead.
@@ -258,7 +296,7 @@ func replayPoints(replayTrips int, replayFile, artifact, network string, seed in
 // tenant, hot-reloaded on change while the fleet serves. With
 // streaming on, every tenant — including ones hot-loaded later — gets
 // its own pipeline behind POST /t/{tenant}/stream.
-func serveFleet(addr, dir string, reload, drain time.Duration, opt l2r.ServeOptions, streamOn bool, streamCfg l2r.StreamConfig) {
+func serveFleet(addr, debugAddr, dir string, reload, drain time.Duration, opt l2r.ServeOptions, streamOn bool, streamCfg l2r.StreamConfig, logger *slog.Logger) {
 	fleet := l2r.NewFleet(opt)
 	if streamOn {
 		streams := l2r.AttachFleetStreams(fleet, streamCfg)
@@ -282,9 +320,11 @@ func serveFleet(addr, dir string, reload, drain time.Duration, opt l2r.ServeOpti
 		}
 	}
 
+	api := fleet.Handler()
+	startDebugListener(debugAddr, api)
 	log.Printf("serving fleet of %d tenants on %s (rescan every %v): /t/{tenant}/route, /tenants, /stats",
 		fleet.Len(), addr, reload)
-	serveAndDrain(addr, fleet.Handler(), drain, func(ctx context.Context) {
+	serveAndDrain(addr, l2r.AccessLog(logger, api), drain, func(ctx context.Context) {
 		watcher.Watch(ctx, reload)
 	})
 	if opt.WALDir != "" {
@@ -302,6 +342,34 @@ func serveFleet(addr, dir string, reload, drain time.Duration, opt l2r.ServeOpti
 	log.Printf("served %d queries across %d tenants (%.1f qps, cache hit rate %.1f%%, %d coalesced, %d ingests)",
 		final.Queries, final.Tenants, final.QPS, 100*final.CacheHitRate,
 		final.CoalescedQueries, final.Ingests)
+}
+
+// startDebugListener serves runtime diagnostics on a separate address
+// so pprof and expvar never share a port with query traffic (keep it
+// loopback or firewalled — profiles leak internals). The API's own
+// telemetry endpoints (/metrics, /debug/trace, /debug/snapshot) are
+// mounted here too, so one diagnostics port carries everything an
+// operator needs mid-incident. No-op when addr is empty.
+func startDebugListener(addr string, api http.Handler) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", api)
+	mux.Handle("/debug/trace", api)
+	mux.Handle("/debug/snapshot", api)
+	go func() {
+		log.Printf("debug listener on %s (pprof, expvar, /metrics, /debug/trace)", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("debug listener: %v", err)
+		}
+	}()
 }
 
 // serveAndDrain runs an HTTP server until SIGINT/SIGTERM, then drains

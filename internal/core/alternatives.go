@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 )
 
@@ -23,11 +25,24 @@ import (
 //
 // Duplicates are removed; fewer than k results may be returned.
 func (r *Router) RouteK(s, d roadnet.VertexID, k int) []RouteResult {
-	first := r.Route(s, d)
+	return r.routeK(nil, s, d, k)
+}
+
+// RouteKCtx is RouteK with request tracing — the primary route's
+// stages plus a route.alternatives span record under the trace carried
+// by ctx, exactly as RouteCtx does for Route.
+func (r *Router) RouteKCtx(ctx context.Context, s, d roadnet.VertexID, k int) []RouteResult {
+	return r.routeK(obs.SpanFrom(ctx), s, d, k)
+}
+
+func (r *Router) routeK(sp *obs.Span, s, d roadnet.VertexID, k int) []RouteResult {
+	first := r.route(sp, s, d)
 	out := []RouteResult{first}
 	if k <= 1 || len(first.Path) == 0 || s == d {
 		return out
 	}
+	alt := sp.Start("route.alternatives")
+	defer alt.End()
 	seen := map[uint64]bool{pathHash(first.Path): true}
 	add := func(p roadnet.Path, ev Evidence, usedRegion bool, regPath []int) bool {
 		if len(p) < 2 || p[0] != s || p[len(p)-1] != d {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/container"
+	"repro/internal/obs"
 	"repro/internal/pref"
 	"repro/internal/region"
 	"repro/internal/roadnet"
@@ -109,6 +111,21 @@ func (r *Router) Categorize(s, d roadnet.VertexID) Category {
 // approaches into the region graph). When the region machinery cannot
 // help, the fastest path is returned, as in the paper.
 func (r *Router) Route(s, d roadnet.VertexID) RouteResult {
+	return r.route(nil, s, d)
+}
+
+// RouteCtx is Route with request tracing: when ctx carries an obs
+// trace (a serving request's span tree), the routing stages — Case-2
+// approach search, region-level search, inner-path splicing,
+// preference application, fastest fallback — record spans under it.
+// With a plain context it is exactly Route.
+func (r *Router) RouteCtx(ctx context.Context, s, d roadnet.VertexID) RouteResult {
+	return r.route(obs.SpanFrom(ctx), s, d)
+}
+
+// route is the shared implementation; sp is the parent span to record
+// stage timings under (nil when untraced — every span call no-ops).
+func (r *Router) route(sp *obs.Span, s, d roadnet.VertexID) RouteResult {
 	if s == d {
 		return RouteResult{Path: roadnet.Path{s}, Category: r.Categorize(s, d), Evidence: EvidenceExactStored}
 	}
@@ -124,7 +141,9 @@ func (r *Router) Route(s, d roadnet.VertexID) RouteResult {
 	var ps, pd roadnet.Path // approach paths (may stay nil)
 	sv, dv := s, d          // effective endpoints inside regions
 	if rs < 0 || rd < 0 {
+		c2 := sp.Start("route.case2_approach")
 		fp, _, ok := r.eng.Fastest(s, d)
+		c2.End()
 		if !ok {
 			return RouteResult{Category: cat, Evidence: EvidenceNone}
 		}
@@ -162,18 +181,26 @@ func (r *Router) Route(s, d roadnet.VertexID) RouteResult {
 		// apply the region's dominant routing preference (majority over
 		// its incident region edges), falling back to fastest when none
 		// is known.
-		if inner, ok := r.innerRoute(rs, sv, dv); ok {
+		in := sp.Start("route.inner_path")
+		inner, ok := r.innerRoute(rs, sv, dv)
+		in.End()
+		if ok {
 			return RouteResult{Path: inner, Category: cat, UsedRegionPath: true, RegionPath: []int{rs}, Evidence: EvidenceInnerPath}
 		}
-		if p, ok := r.regionPrefRoute(rs, s, d); ok {
+		pr := sp.Start("route.preference")
+		p, ok := r.regionPrefRoute(rs, s, d)
+		pr.End()
+		if ok {
 			return RouteResult{Path: p, Category: cat, UsedRegionPath: true, RegionPath: []int{rs}, Evidence: EvidencePreference}
 		}
-		return r.fastestFallback(s, d, cat)
+		return r.fastestFallbackSpan(sp, s, d, cat)
 	}
 
+	rg := sp.Start("route.region_search")
 	regPath, ok := r.regionSearch(rs, rd)
+	rg.End()
 	if !ok {
-		return r.fastestFallback(s, d, cat)
+		return r.fastestFallbackSpan(sp, s, d, cat)
 	}
 
 	// Map the region path to a road path, best evidence first:
@@ -188,6 +215,7 @@ func (r *Router) Route(s, d roadnet.VertexID) RouteResult {
 	//     stored fragments through them; see DESIGN.md.
 	//  3. Fragment stitching over the stored path sets (null-preference
 	//     fallback).
+	spl := sp.Start("route.splice")
 	var road roadnet.Path
 	evidence := EvidenceNone
 	if exact, ok2 := r.exactStoredPath(regPath, sv, dv); ok2 {
@@ -209,8 +237,11 @@ func (r *Router) Route(s, d roadnet.VertexID) RouteResult {
 			evidence = EvidenceFastest
 		}
 	} else {
-		return r.fastestFallback(s, d, cat)
+		spl.End()
+		return r.fastestFallbackSpan(sp, s, d, cat)
 	}
+	spl.Annotate("evidence", evidence.String())
+	spl.End()
 
 	full := road
 	if len(ps) >= 2 {
@@ -223,7 +254,13 @@ func (r *Router) Route(s, d roadnet.VertexID) RouteResult {
 }
 
 func (r *Router) fastestFallback(s, d roadnet.VertexID, cat Category) RouteResult {
+	return r.fastestFallbackSpan(nil, s, d, cat)
+}
+
+func (r *Router) fastestFallbackSpan(sp *obs.Span, s, d roadnet.VertexID, cat Category) RouteResult {
+	fb := sp.Start("route.fastest_fallback")
 	path, _, ok := r.eng.Fastest(s, d)
+	fb.End()
 	if !ok {
 		return RouteResult{Category: cat, Evidence: EvidenceNone}
 	}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for us := uint64(0); us < 1<<14; us++ {
+		i := bucketIndex(us)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", us, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestBucketBoundsContainValue(t *testing.T) {
+	for _, us := range []uint64{2, 3, 4, 5, 7, 8, 33, 100, 1000, 123456, 1 << 30} {
+		i := bucketIndex(us)
+		lo, hi := bucketBounds(i)
+		// Buckets are [lo, hi): the value's own bucket must contain it.
+		// (lo is the inclusive lower edge for every octave >= 2; octave
+		// 0/1 integers sit exactly on their lower edge.)
+		if float64(us) < lo || float64(us) >= hi {
+			t.Fatalf("us=%d in bucket %d with bounds [%g, %g)", us, i, lo, hi)
+		}
+	}
+}
+
+func TestBucketWidthAtMost25Percent(t *testing.T) {
+	for i := 8; i < histBuckets; i++ { // from octave 2 on, sub-buckets are exact quarters
+		lo, hi := bucketBounds(i)
+		if (hi-lo)/lo > 0.25+1e-9 {
+			t.Fatalf("bucket %d width %.3f%% of lower bound", i, 100*(hi-lo)/lo)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	var h Histogram
+	// 99 observations at 30µs and 1 at 33µs: both land in the same
+	// quarter-log2 bucket [28µs, 32µs) / [32µs, 40µs). The old log2
+	// histogram reported p50 = 32µs and p99 = 64µs (the octave upper
+	// bound, a 2x over-report); interpolation must stay within the
+	// bucket that actually holds the rank.
+	for i := 0; i < 99; i++ {
+		h.Observe(30 * time.Microsecond)
+	}
+	h.Observe(33 * time.Microsecond)
+	p50 := h.Quantile(0.50)
+	if p50 < 28*time.Microsecond || p50 > 32*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [28µs, 32µs) — the bucket holding rank 50", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 28*time.Microsecond || p99 > 40*time.Microsecond {
+		t.Fatalf("p99 = %v, want within one quarter-bucket of 30-33µs", p99)
+	}
+}
+
+func TestQuantileErrorBound(t *testing.T) {
+	// Uniform values across a wide range: every interpolated quantile
+	// must be within 25% of the true value (the documented bound).
+	var h Histogram
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i*100) * time.Microsecond)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		truth := time.Duration(int(q*n)*100) * time.Microsecond
+		got := h.Quantile(q)
+		rel := float64(got-truth) / float64(truth)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.25 {
+			t.Fatalf("q=%.2f: got %v, truth %v (relative error %.1f%% > 25%%)", q, got, truth, 100*rel)
+		}
+	}
+}
+
+func TestQuantileEmptyAndSubMicrosecond(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(200 * time.Nanosecond)
+	if q := h.Quantile(0.5); q <= 0 || q > 2*time.Microsecond {
+		t.Fatalf("sub-µs quantile = %v, want within the first bucket", q)
+	}
+}
+
+func TestCumulative(t *testing.T) {
+	var h Histogram
+	cum, first, last := h.Cumulative()
+	if first != -1 || last != -1 {
+		t.Fatalf("empty histogram: first=%d last=%d", first, last)
+	}
+	h.Observe(10 * time.Microsecond)
+	h.Observe(10 * time.Microsecond)
+	h.Observe(10 * time.Millisecond)
+	cum, first, last = h.Cumulative()
+	if first < 0 || last <= first {
+		t.Fatalf("first=%d last=%d", first, last)
+	}
+	if cum[first] != 2 {
+		t.Fatalf("cum[first] = %d, want 2", cum[first])
+	}
+	if cum[last] != 3 || cum[histBuckets-1] != 3 {
+		t.Fatalf("cumulative tail = %d / %d, want 3", cum[last], cum[histBuckets-1])
+	}
+	for i := 1; i < histBuckets; i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts not monotone at %d", i)
+		}
+	}
+	// Upper bounds must be increasing in seconds (valid `le` series).
+	for i := 1; i < histBuckets; i++ {
+		if BucketUpperBoundSeconds(i) <= BucketUpperBoundSeconds(i-1) {
+			t.Fatalf("le not increasing at bucket %d", i)
+		}
+	}
+}
+
+func TestHistogramOverflowClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Hour) // beyond the last octave
+	if h.Count() != 1 {
+		t.Fatal("overflow observation lost")
+	}
+	if q := h.Quantile(1); q <= 0 {
+		t.Fatalf("overflow quantile = %v", q)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type /metrics
+// responses must carry.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one metric label pair.
+type Label struct {
+	Name, Value string
+}
+
+// PromWriter writes Prometheus text-format (version 0.0.4) exposition:
+// # HELP / # TYPE headers emitted once per metric name (so the same
+// metric can be written repeatedly with different label sets — one per
+// fleet tenant), label values escaped per the format, histograms
+// expanded to their _bucket/_sum/_count series. Errors are sticky;
+// check Err once at the end.
+type PromWriter struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewPromWriter wraps w for exposition writing.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error encountered.
+func (p *PromWriter) Err() error { return p.err }
+
+// Counter writes one counter sample.
+func (p *PromWriter) Counter(name, help string, v float64, labels ...Label) {
+	p.header(name, help, "counter")
+	p.sample(name, labels, v)
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...Label) {
+	p.header(name, help, "gauge")
+	p.sample(name, labels, v)
+}
+
+// Histogram writes h as a native Prometheus histogram: cumulative
+// _bucket series with `le` upper bounds in seconds, plus _sum and
+// _count. Only the non-empty bucket range is emitted (plus the
+// mandatory +Inf bucket), keeping the exposition compact; cumulative
+// counts stay exact, so the series is valid for quantile and rate
+// queries regardless.
+func (p *PromWriter) Histogram(name, help string, h *Histogram, labels ...Label) {
+	p.header(name, help, "histogram")
+	cum, first, last := h.Cumulative()
+	if first >= 0 {
+		for i := first; i <= last; i++ {
+			le := strconv.FormatFloat(BucketUpperBoundSeconds(i), 'g', -1, 64)
+			p.sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", le}), float64(cum[i]))
+		}
+	}
+	count := h.Count()
+	p.sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", "+Inf"}), float64(count))
+	p.sample(name+"_sum", labels, h.SumSeconds())
+	p.sample(name+"_count", labels, float64(count))
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+func (p *PromWriter) sample(name string, labels []Label, v float64) {
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, formatValue(v))
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	p.printf("%s %s\n", sb.String(), formatValue(v))
+}
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// StageHistograms writes every per-stage duration histogram of t under
+// one metric name, labeled by stage, in sorted order for a stable
+// exposition.
+func (p *PromWriter) StageHistograms(name, help string, t *Tracer, labels ...Label) {
+	stages := t.Stages()
+	names := make([]string, 0, len(stages))
+	for s := range stages {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		p.Histogram(name, help, stages[s], append(labels[:len(labels):len(labels)], Label{"stage", s})...)
+	}
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// withRequestTelemetry is the outermost HTTP middleware on engine and
+// fleet handlers: it assigns every request an ID (honoring an incoming
+// X-Request-ID, generating one otherwise), echoes it on the response,
+// and opens the request's root trace span. Telemetry endpoints
+// (/metrics, /debug/...) get IDs but no traces — scrapes every few
+// seconds would otherwise dominate the trace ring. When an outer layer
+// already opened a trace (the fleet wrapping a tenant engine), the
+// inner middleware is a pass-through: StartRequest refuses to nest
+// roots and the response header is stamped exactly once.
+func withRequestTelemetry(t *obs.Tracer, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+			// Stamp the request too, so nested handlers (a tenant
+			// engine under the fleet) observe the same ID.
+			r.Header.Set("X-Request-ID", id)
+		}
+		if w.Header().Get("X-Request-ID") == "" {
+			w.Header().Set("X-Request-ID", id)
+		}
+		if telemetryPath(r.URL.Path) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		ctx, sp := t.StartRequest(r.Context(), r.Method+" "+r.URL.Path, id)
+		if sp == nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		defer sp.End()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// telemetryPath reports whether p serves telemetry itself and should
+// not be traced (matched by suffix/substring so tenant-prefixed forms
+// like /t/x/metrics qualify too).
+func telemetryPath(p string) bool {
+	return strings.HasSuffix(p, "/metrics") || strings.Contains(p, "/debug/")
+}
+
+// traceHandler serves GET /debug/trace: the n most recent completed
+// traces (?n=, default 50), or the slow-query log with ?slow=1, plus
+// the tracer's own counters.
+func traceHandler(t *obs.Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		n := 50
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 1 {
+				writeError(w, http.StatusBadRequest, "parameter %q must be a positive integer", "n")
+				return
+			}
+			n = v
+		}
+		var traces []*obs.Trace
+		if r.URL.Query().Get("slow") != "" {
+			traces = t.Slow(n)
+		} else {
+			traces = t.Recent(n)
+		}
+		if traces == nil {
+			traces = []*obs.Trace{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tracer": t.Stats(),
+			"traces": traces,
+		})
+	}
+}
+
+// DebugSnapshot is a point-in-time view of the engine's live internals
+// for /debug/snapshot. Unlike Stats it never blocks on readiness, so
+// it stays readable while an asynchronous WAL recovery is still
+// replaying — the exact window a "recovery stuck" investigation needs
+// it in.
+type DebugSnapshot struct {
+	Ready      bool   `json:"ready"`
+	Durable    bool   `json:"durable"`
+	Tracing    bool   `json:"tracing"`
+	Generation uint64 `json:"generation"`
+	// CacheEntries is the route cache's current occupancy (0 when
+	// caching is disabled); Coalescing whether duplicate queries share
+	// in-flight computations.
+	CacheEntries int  `json:"cache_entries"`
+	Coalescing   bool `json:"coalescing"`
+	// WALSeq is the next write-ahead-log sequence number — how many
+	// batches this WAL lineage has durably acknowledged (0 on
+	// non-durable engines).
+	WALSeq uint64 `json:"wal_seq,omitempty"`
+	// Stream queue occupancy, when a streaming pipeline is attached.
+	StreamQueueDepth    int `json:"stream_queue_depth,omitempty"`
+	StreamQueueCapacity int `json:"stream_queue_capacity,omitempty"`
+	Goroutines          int `json:"goroutines"`
+}
+
+// DebugSnapshotNow collects the engine's DebugSnapshot without
+// blocking: every field reads an atomic or a lock-free counter.
+func (e *Engine) DebugSnapshotNow() DebugSnapshot {
+	ds := DebugSnapshot{
+		Ready:      e.ready.Load(),
+		Durable:    e.dur != nil,
+		Tracing:    e.trc.Enabled(),
+		Coalescing: e.flights != nil,
+		Goroutines: runtime.NumGoroutine(),
+	}
+	if snap := e.snap.Load(); snap != nil {
+		ds.Generation = snap.gen
+	}
+	if e.cache != nil {
+		ds.CacheEntries = e.cache.len()
+	}
+	if e.dur != nil {
+		ds.WALSeq = e.dur.walSeq.Load()
+	}
+	if at := e.stream.Load(); at != nil && at.source != nil {
+		ss := at.source.StreamStats()
+		ds.StreamQueueDepth = ss.QueueDepth
+		ds.StreamQueueCapacity = ss.QueueCapacity
+	}
+	return ds
+}
+
+func (e *Engine) handleDebugSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, e.DebugSnapshotNow())
+}
+
+func (f *Fleet) handleDebugSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	engines := f.snapshotEngines()
+	per := make(map[string]DebugSnapshot, len(engines))
+	for name, e := range engines {
+		per[name] = e.DebugSnapshotNow()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenants":    len(per),
+		"goroutines": runtime.NumGoroutine(),
+		"per_tenant": per,
+	})
+}
+
+// statusWriter records the status code and body size a handler wrote,
+// for access logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// AccessLog wraps h with one structured log line per request: method,
+// path, tenant (for /t/{tenant}/... paths), status, response bytes,
+// duration and the request ID the telemetry middleware assigned. Layer
+// it outside withRequestTelemetry so the ID is already on the response
+// headers when the line is emitted.
+func AccessLog(l *slog.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Float64("duration_ms", float64(time.Since(start).Microseconds())/1000),
+		}
+		if tenant := tenantOf(r.URL.Path); tenant != "" {
+			attrs = append(attrs, slog.String("tenant", tenant))
+		}
+		if id := sw.Header().Get("X-Request-ID"); id != "" {
+			attrs = append(attrs, slog.String("request_id", id))
+		}
+		l.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
+}
+
+// tenantOf extracts the tenant name from a fleet path ("" otherwise).
+func tenantOf(p string) string {
+	rest, ok := strings.CutPrefix(p, "/t/")
+	if !ok {
+		return ""
+	}
+	name, _, _ := strings.Cut(rest, "/")
+	return name
+}

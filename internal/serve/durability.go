@@ -24,6 +24,7 @@ type durability struct {
 	appends            atomic.Uint64
 	appendedTrajs      atomic.Uint64
 	appendFailures     atomic.Uint64
+	walSeq             atomic.Uint64 // next WAL sequence, readable without writeMu
 	checkpoints        atomic.Uint64
 	checkpointFailures atomic.Uint64
 	lastCheckpointUnix atomic.Int64
@@ -103,6 +104,7 @@ func NewDurableEngine(r *core.Router, opt Options) (*Engine, error) {
 	d.replayedTrajs = ri.Trajectories
 	d.tornTail = ri.Torn
 	d.recoveredSeq = ri.NextSeq
+	d.walSeq.Store(ri.NextSeq)
 	d.ckptGen.Store(base.Meta().Generation)
 
 	e := newBareEngine(opt)
@@ -176,23 +178,22 @@ func (e *Engine) Close() error {
 
 // append journals one batch ahead of its snapshot swap; writeMu held.
 func (d *durability) append(b wal.Batch) bool {
-	if _, err := d.log.Append(b); err != nil {
+	seq, err := d.log.Append(b)
+	if err != nil {
 		d.appendFailures.Add(1)
 		return false
 	}
+	d.walSeq.Store(seq + 1)
 	d.appends.Add(1)
 	d.appendedTrajs.Add(uint64(len(b.Trajs)))
 	d.sinceCkpt += len(b.Trajs)
 	return true
 }
 
-// maybeCheckpoint runs an automatic checkpoint once enough
-// trajectories have accumulated since the last one; writeMu held.
-func (d *durability) maybeCheckpoint(base *core.Router, nextTrajID uint64) {
-	if d.every < 0 || d.sinceCkpt < d.every {
-		return
-	}
-	d.checkpointLocked(base, nextTrajID)
+// shouldCheckpoint reports whether enough trajectories have accumulated
+// since the last checkpoint for an automatic one; writeMu held.
+func (d *durability) shouldCheckpoint() bool {
+	return d.every >= 0 && d.sinceCkpt >= d.every
 }
 
 // checkpointLocked folds the current base into a checkpoint and

@@ -33,18 +33,27 @@ type TenantInfo struct {
 //
 // plus fleet-level routes:
 //
-//	GET  /tenants     tenant listing (generations, artifact metadata)
-//	GET  /stats       aggregate FleetStats
-//	GET  /healthz     liveness + tenant count
+//	GET  /tenants          tenant listing (generations, artifact metadata)
+//	GET  /stats            aggregate FleetStats
+//	GET  /healthz          liveness + tenant count
+//	GET  /metrics          Prometheus exposition, every tenant labeled
+//	GET  /debug/trace      recent / slow request traces (shared tracer)
+//	GET  /debug/snapshot   per-tenant non-blocking internals snapshot
 //
-// Requests for tenants not in the registry return 404.
+// Requests for tenants not in the registry return 404. With a tracer
+// configured (Options.Tracer — shared by every tenant engine), the
+// fleet middleware assigns request IDs and opens each request's root
+// trace; the nested tenant handlers add their stages under it.
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/t/", f.handleTenant)
 	mux.HandleFunc("/tenants", f.handleTenants)
 	mux.HandleFunc("/stats", f.handleStats)
 	mux.HandleFunc("/healthz", f.handleHealthz)
-	return mux
+	mux.HandleFunc("/metrics", f.handleMetrics)
+	mux.HandleFunc("/debug/trace", traceHandler(f.opt.Tracer))
+	mux.HandleFunc("/debug/snapshot", f.handleDebugSnapshot)
+	return withRequestTelemetry(f.opt.Tracer, mux)
 }
 
 // handleTenant routes /t/{tenant}/... to the tenant's engine handler.

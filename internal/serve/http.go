@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -83,14 +84,22 @@ func (e *Engine) AttachStream(h http.Handler, src StreamSource) {
 //	POST /stream                         NDJSON GPS points (AttachStream)
 //	GET  /stats                          serving metrics (Stats)
 //	GET  /healthz                        liveness + snapshot generation
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /debug/trace?n=50&slow=1        recent / slow request traces
+//	GET  /debug/snapshot                 non-blocking internals snapshot
 //
 // Every endpoint's request body is bounded by Options.MaxBodyBytes;
-// larger bodies are rejected with 413.
+// larger bodies are rejected with 413. Every response carries an
+// X-Request-ID (honoring an incoming header), and — with a tracer
+// configured (Options.Tracer) — each request is traced end to end.
 //
 // While a durable engine's asynchronous recovery is still replaying
-// the write-ahead log (Ready() is false), every endpoint answers 503
-// — including /healthz, whose body reports "recovering" so load
-// balancers keep traffic away until replay completes.
+// the write-ahead log (Ready() is false), the serving endpoints answer
+// 503 — including /healthz, whose body reports "recovering" so load
+// balancers keep traffic away until replay completes. /metrics and
+// /debug/... stay up throughout: a scrape sees l2r_ready 0 and
+// /debug/snapshot shows recovery progress instead of hanging — exactly
+// the window the "recovery stuck" runbook needs them in.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/route", e.handleRoute)
@@ -99,9 +108,12 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("/stream", e.handleStream)
 	mux.HandleFunc("/stats", e.handleStats)
 	mux.HandleFunc("/healthz", e.handleHealthz)
+	mux.HandleFunc("/metrics", e.handleMetrics)
+	mux.HandleFunc("/debug/trace", traceHandler(e.trc))
+	mux.HandleFunc("/debug/snapshot", e.handleDebugSnapshot)
 	limit := e.opt.MaxBodyBytes
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !e.ready.Load() {
+	return withRequestTelemetry(e.trc, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !e.ready.Load() && !telemetryPath(r.URL.Path) {
 			if r.URL.Path == "/healthz" {
 				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 					"status":  "recovering",
@@ -116,7 +128,7 @@ func (e *Engine) Handler() http.Handler {
 			r.Body = http.MaxBytesReader(w, r.Body, limit)
 		}
 		mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
 // decodeStatus maps a request-body decode error to an HTTP status: 413
@@ -142,7 +154,11 @@ func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
 func DecodeStatus(err error) int { return decodeStatus(err) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	// Explicit charset and no-store on every JSON reply: /healthz and
+	// /stats are point-in-time reads that an intermediary cache would
+	// silently falsify.
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -196,26 +212,31 @@ func (e *Engine) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s, err := e.parseVertex(r, "src")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	sp := obs.SpanFrom(r.Context())
+	ps := sp.Start("http.parse")
+	s, serr := e.parseVertex(r, "src")
+	d, derr := e.parseVertex(r, "dst")
+	ps.End()
+	if serr != nil {
+		writeError(w, http.StatusBadRequest, "%v", serr)
 		return
 	}
-	d, err := e.parseVertex(r, "dst")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if derr != nil {
+		writeError(w, http.StatusBadRequest, "%v", derr)
 		return
 	}
-	results, hit, gen := e.routeK(s, d, 1)
+	results, hit, gen := e.routeK(r.Context(), s, d, 1)
 	if results[0].Evidence == core.EvidenceNone {
 		writeError(w, http.StatusNotFound, "no path from %d to %d", s, d)
 		return
 	}
+	enc := sp.Start("http.encode")
 	writeJSON(w, http.StatusOK, routeReply{
 		Routes:     []RouteJSON{e.toJSON(results[0], s, d)},
 		Cached:     hit,
 		Generation: gen,
 	})
+	enc.End()
 }
 
 func (e *Engine) handleAlternatives(w http.ResponseWriter, r *http.Request) {
@@ -223,25 +244,32 @@ func (e *Engine) handleAlternatives(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s, err := e.parseVertex(r, "src")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	d, err := e.parseVertex(r, "dst")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
+	sp := obs.SpanFrom(r.Context())
+	ps := sp.Start("http.parse")
+	s, serr := e.parseVertex(r, "src")
+	d, derr := e.parseVertex(r, "dst")
 	k := 3
+	var kerr error
 	if raw := r.URL.Query().Get("k"); raw != "" {
-		k, err = strconv.Atoi(raw)
-		if err != nil || k < 1 || k > 16 {
-			writeError(w, http.StatusBadRequest, "parameter %q must be in [1,16]", "k")
-			return
+		k, kerr = strconv.Atoi(raw)
+		if kerr != nil || k < 1 || k > 16 {
+			kerr = fmt.Errorf("parameter %q must be in [1,16]", "k")
 		}
 	}
-	results, hit, gen := e.routeK(s, d, k)
+	ps.End()
+	if serr != nil {
+		writeError(w, http.StatusBadRequest, "%v", serr)
+		return
+	}
+	if derr != nil {
+		writeError(w, http.StatusBadRequest, "%v", derr)
+		return
+	}
+	if kerr != nil {
+		writeError(w, http.StatusBadRequest, "%v", kerr)
+		return
+	}
+	results, hit, gen := e.routeK(r.Context(), s, d, k)
 	if len(results) == 0 || results[0].Evidence == core.EvidenceNone {
 		writeError(w, http.StatusNotFound, "no path from %d to %d", s, d)
 		return
@@ -250,7 +278,9 @@ func (e *Engine) handleAlternatives(w http.ResponseWriter, r *http.Request) {
 	for _, res := range results {
 		reply.Routes = append(reply.Routes, e.toJSON(res, s, d))
 	}
+	enc := sp.Start("http.encode")
 	writeJSON(w, http.StatusOK, reply)
+	enc.End()
 }
 
 func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -258,12 +288,16 @@ func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	sp := obs.SpanFrom(r.Context())
+	val := sp.Start("ingest.validate")
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		val.End()
 		writeError(w, decodeStatus(err), "decoding body: %v", err)
 		return
 	}
 	if len(req.Paths) == 0 {
+		val.End()
 		writeError(w, http.StatusBadRequest, "no paths in request")
 		return
 	}
@@ -272,18 +306,21 @@ func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ts := make([]*traj.Trajectory, 0, len(req.Paths))
 	for i, raw := range req.Paths {
 		if len(raw) < 2 {
+			val.End()
 			writeError(w, http.StatusBadRequest, "path %d has fewer than 2 vertices", i)
 			return
 		}
 		p := make(roadnet.Path, len(raw))
 		for j, v := range raw {
 			if v < 0 || v >= n {
+				val.End()
 				writeError(w, http.StatusBadRequest, "path %d vertex %d out of range [0,%d)", i, v, n)
 				return
 			}
 			p[j] = roadnet.VertexID(v)
 		}
 		if !p.Valid(road) {
+			val.End()
 			writeError(w, http.StatusBadRequest, "path %d is not connected in the road network", i)
 			return
 		}
@@ -291,11 +328,12 @@ func (e *Engine) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// requests (and with the streaming pipeline).
 		ts = append(ts, &traj.Trajectory{ID: e.NextTrajectoryID(), Truth: p})
 	}
+	val.End()
 	// Paths arrive already map-matched (vertex sequences), so ingest
 	// trusts them as ground truth.
 	opt := e.opt.Ingest
 	opt.SkipMapMatching = true
-	st, gen, durable := e.ingestDurable(ts, opt)
+	st, gen, durable := e.ingestDurable(r.Context(), ts, opt)
 	writeJSON(w, http.StatusOK, ingestReply{
 		Paths:              st.Paths,
 		TouchedEdges:       len(st.TouchedEdges),

@@ -1,77 +1,26 @@
 package serve
 
 import (
-	"math"
-	"math/bits"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
-
-// latHist is a lock-free log₂-bucketed latency histogram: bucket i
-// holds observations with ceil(log2(µs)) == i, covering 1 µs up to
-// ~1.2 hours. Quantiles read the bucket upper bounds — coarse (factor
-// of two) but allocation-free and safe under full query concurrency.
-type latHist struct {
-	buckets [33]atomic.Uint64
-	count   atomic.Uint64
-	sumNs   atomic.Uint64
-}
-
-func (h *latHist) observe(d time.Duration) {
-	us := uint64(d.Microseconds())
-	i := bits.Len64(us) // 0 for <1µs, else position of highest bit + 1
-	if i >= len(h.buckets) {
-		i = len(h.buckets) - 1
-	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(uint64(d.Nanoseconds()))
-}
-
-// quantile returns an upper bound for the q-quantile (0 < q <= 1).
-func (h *latHist) quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(math.Ceil(q * float64(total)))
-	if target < 1 {
-		target = 1
-	}
-	var seen uint64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= target {
-			if i == 0 {
-				return time.Microsecond
-			}
-			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
-		}
-	}
-	return time.Duration(uint64(1)<<uint(len(h.buckets)-1)) * time.Microsecond
-}
-
-func (h *latHist) mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sumNs.Load() / n)
-}
 
 // metrics aggregates serving measurements, overall and per query
 // category (the paper's InRegion / InOutRegion / OutRegion breakdown).
+// The histograms are obs.Histogram — lock-free quarter-log2 buckets
+// that both Stats quantiles and the /metrics Prometheus exposition
+// read from, so the two surfaces never disagree.
 type metrics struct {
-	all    latHist
-	perCat [3]latHist
+	all    obs.Histogram
+	perCat [3]obs.Histogram
 }
 
 func (m *metrics) observe(cat core.Category, d time.Duration) {
-	m.all.observe(d)
+	m.all.Observe(d)
 	if int(cat) < len(m.perCat) {
-		m.perCat[cat].observe(d)
+		m.perCat[cat].Observe(d)
 	}
 }
 
@@ -84,13 +33,13 @@ type LatencyStats struct {
 	P99     time.Duration `json:"p99_ns"`
 }
 
-func (h *latHist) stats() LatencyStats {
+func latencyStats(h *obs.Histogram) LatencyStats {
 	return LatencyStats{
-		Queries: h.count.Load(),
-		Mean:    h.mean(),
-		P50:     h.quantile(0.50),
-		P95:     h.quantile(0.95),
-		P99:     h.quantile(0.99),
+		Queries: h.Count(),
+		Mean:    h.Mean(),
+		P50:     h.Quantile(0.50),
+		P95:     h.Quantile(0.95),
+		P99:     h.Quantile(0.99),
 	}
 }
 
@@ -195,7 +144,7 @@ func (e *Engine) Stats() Stats {
 	now := time.Now()
 	st := Stats{
 		Uptime:               now.Sub(e.start),
-		Queries:              e.met.all.count.Load(),
+		Queries:              e.met.all.Count(),
 		RouteComputations:    e.computes.Load(),
 		CoalescedQueries:     e.coalesced.Load(),
 		SnapshotGeneration:   e.Generation(),
@@ -203,7 +152,7 @@ func (e *Engine) Stats() Stats {
 		IngestedTrajectories: e.ingestedTrajs.Load(),
 		IngestLag:            time.Duration(e.lastIngestNs.Load()),
 		SinceLastSwap:        now.Sub(time.Unix(0, e.lastSwapUnix.Load())),
-		Latency:              e.met.all.stats(),
+		Latency:              latencyStats(&e.met.all),
 		PerCategory:          make(map[string]LatencyStats, len(e.met.perCat)),
 	}
 	if st.Uptime > 0 {
@@ -218,8 +167,8 @@ func (e *Engine) Stats() Stats {
 		st.CacheEntries = e.cache.len()
 	}
 	for i := range e.met.perCat {
-		if e.met.perCat[i].count.Load() > 0 {
-			st.PerCategory[core.Category(i).String()] = e.met.perCat[i].stats()
+		if e.met.perCat[i].Count() > 0 {
+			st.PerCategory[core.Category(i).String()] = latencyStats(&e.met.perCat[i])
 		}
 	}
 	if at := e.stream.Load(); at != nil && at.source != nil {

@@ -3,44 +3,45 @@ package serve
 import (
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
-func TestLatHistQuantiles(t *testing.T) {
-	var h latHist
+// The histogram mechanics themselves are tested in internal/obs; these
+// tests pin the serve-level reading of them.
+
+func TestLatencyStatsFromHistogram(t *testing.T) {
+	var h obs.Histogram
 	// 90 fast observations (~8µs) and 10 slow ones (~1ms).
 	for i := 0; i < 90; i++ {
-		h.observe(8 * time.Microsecond)
+		h.Observe(8 * time.Microsecond)
 	}
 	for i := 0; i < 10; i++ {
-		h.observe(1 * time.Millisecond)
+		h.Observe(1 * time.Millisecond)
 	}
-	p50, p99 := h.quantile(0.50), h.quantile(0.99)
-	if p50 > 64*time.Microsecond {
-		t.Fatalf("p50 = %v, expected in the fast band", p50)
+	ls := latencyStats(&h)
+	if ls.Queries != 100 {
+		t.Fatalf("queries = %d", ls.Queries)
 	}
-	if p99 < 512*time.Microsecond {
-		t.Fatalf("p99 = %v, expected in the slow band", p99)
+	if ls.P50 > 16*time.Microsecond {
+		t.Fatalf("p50 = %v, expected in the fast band", ls.P50)
 	}
-	if p99 < p50 {
-		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	if ls.P99 < 512*time.Microsecond {
+		t.Fatalf("p99 = %v, expected in the slow band", ls.P99)
 	}
-	if mean := h.mean(); mean <= 0 || mean > time.Millisecond {
-		t.Fatalf("mean = %v", mean)
+	if ls.P99 < ls.P95 || ls.P95 < ls.P50 {
+		t.Fatalf("quantiles not monotone: %+v", ls)
 	}
-}
-
-func TestLatHistEmpty(t *testing.T) {
-	var h latHist
-	if h.quantile(0.99) != 0 || h.mean() != 0 {
-		t.Fatal("empty histogram must report zeros")
+	if ls.Mean <= 0 || ls.Mean > time.Millisecond {
+		t.Fatalf("mean = %v", ls.Mean)
 	}
 }
 
-func TestLatHistSubMicrosecond(t *testing.T) {
-	var h latHist
-	h.observe(200 * time.Nanosecond)
-	if q := h.quantile(0.5); q != time.Microsecond {
-		t.Fatalf("sub-µs quantile = %v want 1µs floor", q)
+func TestLatencyStatsEmpty(t *testing.T) {
+	var h obs.Histogram
+	ls := latencyStats(&h)
+	if ls.Queries != 0 || ls.P99 != 0 || ls.Mean != 0 {
+		t.Fatalf("empty histogram must report zeros, got %+v", ls)
 	}
 }
 

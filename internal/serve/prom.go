@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// writeProm emits the engine's full metric catalog onto pw, every
+// sample carrying labels (the fleet handler passes tenant={name}).
+// While the engine is still recovering (asynchronous WAL replay), only
+// l2r_ready 0 is emitted — Stats() would block on readiness, and a
+// scrape must never hang behind a replay.
+func (e *Engine) writeProm(pw *obs.PromWriter, labels ...obs.Label) {
+	if !e.ready.Load() {
+		pw.Gauge("l2r_ready", "Whether the engine is serving (0 while WAL recovery replays).", 0, labels...)
+		return
+	}
+	pw.Gauge("l2r_ready", "Whether the engine is serving (0 while WAL recovery replays).", 1, labels...)
+	st := e.Stats()
+
+	pw.Gauge("l2r_uptime_seconds", "Time since the engine was created.", st.Uptime.Seconds(), labels...)
+	pw.Counter("l2r_queries_total", "Routing queries answered (Route/RouteK).", float64(st.Queries), labels...)
+	pw.Counter("l2r_cache_hits_total", "Route cache hits.", float64(st.CacheHits), labels...)
+	pw.Counter("l2r_cache_misses_total", "Route cache misses.", float64(st.CacheMisses), labels...)
+	pw.Gauge("l2r_cache_entries", "Route cache occupancy.", float64(st.CacheEntries), labels...)
+	pw.Counter("l2r_route_computations_total", "Route searches actually run (not absorbed by cache or coalescing).", float64(st.RouteComputations), labels...)
+	pw.Counter("l2r_coalesced_queries_total", "Queries that shared a concurrent duplicate's in-flight computation.", float64(st.CoalescedQueries), labels...)
+	pw.Gauge("l2r_snapshot_generation", "Current snapshot generation (starts at 1, +1 per ingest or publish).", float64(st.SnapshotGeneration), labels...)
+	pw.Counter("l2r_ingests_total", "Copy-on-write ingest swaps.", float64(st.Ingests), labels...)
+	pw.Counter("l2r_ingested_trajectories_total", "Trajectories carried by ingest swaps.", float64(st.IngestedTrajectories), labels...)
+	pw.Gauge("l2r_ingest_lag_seconds", "Wall time the last ingest took from batch arrival to snapshot publication.", st.IngestLag.Seconds(), labels...)
+	pw.Gauge("l2r_since_last_swap_seconds", "Time since the last snapshot publication.", st.SinceLastSwap.Seconds(), labels...)
+
+	pw.Histogram("l2r_route_latency_seconds", "Routing query latency.", &e.met.all, labels...)
+	for i := range e.met.perCat {
+		h := &e.met.perCat[i]
+		if h.Count() == 0 {
+			continue
+		}
+		pw.Histogram("l2r_route_category_latency_seconds", "Routing query latency by paper query category.",
+			h, append(withLabels(labels), obs.Label{Name: "category", Value: core.Category(i).String()})...)
+	}
+
+	if st.Stream != nil {
+		ss := st.Stream
+		pw.Gauge("l2r_stream_active_sessions", "Vehicles with an open streaming session.", float64(ss.ActiveSessions), labels...)
+		pw.Counter("l2r_stream_points_total", "GPS points accepted by the streaming pipeline.", float64(ss.PointsIn), labels...)
+		pw.Counter("l2r_stream_points_late_total", "Points dropped as older than the reorder window.", float64(ss.PointsLate), labels...)
+		pw.Counter("l2r_stream_points_duplicate_total", "Points dropped as exact duplicates.", float64(ss.PointsDuplicate), labels...)
+		pw.Counter("l2r_stream_points_outlier_total", "Points dropped as teleport-distance outliers.", float64(ss.PointsOutlier), labels...)
+		pw.Counter("l2r_stream_segments_closed_total", "Trajectory segments closed by gap, dwell, teleport or explicit close.", float64(ss.SegmentsClosed), labels...)
+		pw.Counter("l2r_stream_segments_dropped_total", "Closed segments too short to ingest.", float64(ss.SegmentsDropped), labels...)
+		pw.Gauge("l2r_stream_queue_depth", "Closed-trajectory batch queue occupancy.", float64(ss.QueueDepth), labels...)
+		pw.Gauge("l2r_stream_queue_capacity", "Closed-trajectory batch queue capacity.", float64(ss.QueueCapacity), labels...)
+		pw.Counter("l2r_stream_queue_drops_total", "Trajectories rejected by a full queue or a road-network swap.", float64(ss.QueueDrops), labels...)
+		pw.Counter("l2r_stream_flushes_total", "Batcher-driven ingest swaps.", float64(ss.Flushes), labels...)
+		pw.Counter("l2r_stream_flushed_trajectories_total", "Trajectories carried by batcher flushes.", float64(ss.FlushedTrajectories), labels...)
+	}
+
+	if st.Durability != nil {
+		ds := st.Durability
+		pw.Counter("l2r_wal_records_total", "Batches appended to the write-ahead log since process start.", float64(ds.WALRecords), labels...)
+		pw.Counter("l2r_wal_trajectories_total", "Trajectories appended to the write-ahead log since process start.", float64(ds.WALTrajectories), labels...)
+		pw.Gauge("l2r_wal_bytes", "Write-ahead log on-disk size (reset by checkpoint rotation).", float64(ds.WALBytes), labels...)
+		pw.Counter("l2r_wal_append_failures_total", "Batches that could not be journaled and serve from memory only — alert on any increase.", float64(ds.WALAppendFailures), labels...)
+		pw.Gauge("l2r_wal_seq", "Next WAL sequence number — batches ever durably acknowledged in this lineage.", float64(e.dur.walSeq.Load()), labels...)
+		pw.Counter("l2r_checkpoints_total", "Checkpoints written by this process.", float64(ds.Checkpoints), labels...)
+		pw.Counter("l2r_checkpoint_failures_total", "Failed checkpoint or log-rotation attempts.", float64(ds.CheckpointFailures), labels...)
+		pw.Gauge("l2r_checkpoint_age_seconds", "Age of the newest checkpoint this process wrote (0 before the first).", ds.SinceLastCheckpoint.Seconds(), labels...)
+		pw.Gauge("l2r_checkpoint_generation", "Artifact save generation the next checkpoint advances from.", float64(ds.CheckpointGeneration), labels...)
+		pw.Gauge("l2r_recovered_from_checkpoint", "Whether start-up recovery loaded a checkpoint.", boolGauge(ds.RecoveredFromCheckpoint), labels...)
+		pw.Gauge("l2r_replayed_records", "WAL records replayed at start-up.", float64(ds.ReplayedRecords), labels...)
+		pw.Gauge("l2r_wal_torn_tail_truncated", "Whether recovery truncated a torn final record.", boolGauge(ds.TornTailTruncated), labels...)
+	}
+
+	if e.trc != nil {
+		ts := e.trc.Stats()
+		pw.Counter("l2r_traces_total", "Request traces recorded.", float64(ts.Traces), labels...)
+		pw.Counter("l2r_slow_traces_total", "Traces over the slow-query threshold.", float64(ts.SlowTraces), labels...)
+		pw.Gauge("l2r_tracing_enabled", "Whether request tracing is recording.", boolGauge(ts.Enabled), labels...)
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// withLabels returns labels with its capacity clamped, so appends by
+// different callers never alias the same backing array.
+func withLabels(labels []obs.Label) []obs.Label {
+	return labels[:len(labels):len(labels)]
+}
+
+// stageHelp documents the per-stage histogram metric once.
+const stageHelp = "Duration of one traced request stage (cache.lookup, route.region_search, wal.append, ...)."
+
+// WriteMetrics writes the engine's Prometheus text-format exposition —
+// the same bytes GET /metrics serves — for embedding the engine behind
+// a custom HTTP front-end.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	pw := obs.NewPromWriter(w)
+	e.writeProm(pw)
+	pw.StageHistograms("l2r_stage_duration_seconds", stageHelp, e.trc)
+	writeRuntimeProm(pw)
+	return pw.Err()
+}
+
+// WriteMetrics writes the fleet's Prometheus exposition: every tenant
+// engine's catalog labeled tenant={name}, the shared per-stage
+// histograms once, and process runtime gauges once.
+func (f *Fleet) WriteMetrics(w io.Writer) error {
+	pw := obs.NewPromWriter(w)
+	engines := f.snapshotEngines()
+	pw.Gauge("l2r_tenants", "Registered tenants.", float64(len(engines)))
+	for _, name := range sortedNames(engines) {
+		engines[name].writeProm(pw, obs.Label{Name: "tenant", Value: name})
+	}
+	pw.StageHistograms("l2r_stage_duration_seconds", stageHelp, f.opt.Tracer)
+	writeRuntimeProm(pw)
+	return pw.Err()
+}
+
+// writeRuntimeProm emits process runtime gauges: goroutines, heap and
+// GC health. ReadMemStats briefly stops the world, which is fine at
+// scrape frequency.
+func writeRuntimeProm(pw *obs.PromWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pw.Gauge("go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine()))
+	pw.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	pw.Gauge("go_heap_sys_bytes", "Heap memory obtained from the OS.", float64(ms.HeapSys))
+	pw.Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	pw.Counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
+	pw.Counter("go_alloc_bytes_total", "Cumulative bytes allocated on the heap.", float64(ms.TotalAlloc))
+}
+
+// serveProm buffers one exposition and writes it with the Prometheus
+// content type; a mid-exposition error becomes a clean 500 instead of
+// a torn body.
+func serveProm(w http.ResponseWriter, r *http.Request, write func(io.Writer) error) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.Header().Set("Cache-Control", "no-store")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	serveProm(w, r, e.WriteMetrics)
+}
+
+func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	serveProm(w, r, f.WriteMetrics)
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/ch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 	"repro/internal/wal"
@@ -75,6 +77,17 @@ type Options struct {
 	// on a background goroutine. Until replay completes the engine is
 	// not Ready: HTTP endpoints answer 503 and library calls block.
 	AsyncRecovery bool
+
+	// Tracer attaches request tracing: HTTP requests get a root span
+	// (request ID generated or honored from X-Request-ID and echoed
+	// back), every serving stage — cache lookup, coalescing, snapshot
+	// acquire, region search, inner-path splice, WAL append, snapshot
+	// swap, checkpoint — records a child span, completed traces land in
+	// the /debug/trace ring and the slow-query log, and per-stage
+	// latency histograms appear in /metrics. Nil disables tracing with
+	// no measurable hot-path cost. A Fleet shares one tracer across all
+	// tenant engines.
+	Tracer *obs.Tracer
 
 	// recoverHold, when set (tests only), is waited on before an async
 	// recovery starts applying batches, making the recovering window
@@ -154,6 +167,10 @@ type Engine struct {
 	ready   atomic.Bool
 	readyCh chan struct{}
 
+	// trc is the optional request tracer (Options.Tracer); nil-safe
+	// everywhere it is used.
+	trc *obs.Tracer
+
 	start         time.Time
 	ingests       atomic.Uint64
 	ingestedTrajs atomic.Uint64
@@ -180,7 +197,7 @@ func NewEngine(r *core.Router, opt Options) *Engine {
 // newBareEngine builds an engine with no snapshot yet — not Ready
 // until publishInitial runs.
 func newBareEngine(opt Options) *Engine {
-	e := &Engine{opt: opt, start: time.Now(), readyCh: make(chan struct{})}
+	e := &Engine{opt: opt, start: time.Now(), readyCh: make(chan struct{}), trc: opt.Tracer}
 	if opt.CacheSize > 0 {
 		e.cache = newRouteCache(opt.CacheSize, opt.CacheShards)
 		if !opt.NoCoalesce {
@@ -235,7 +252,7 @@ func (e *Engine) Snapshot() *core.Router {
 // in-flight computation. The result (including its Path) may be shared
 // with other callers and must be treated as immutable.
 func (e *Engine) Route(s, d roadnet.VertexID) (core.RouteResult, bool) {
-	res, hit, _ := e.routeK(s, d, 1)
+	res, hit, _ := e.routeK(context.Background(), s, d, 1)
 	return res[0], hit
 }
 
@@ -243,14 +260,16 @@ func (e *Engine) Route(s, d roadnet.VertexID) (core.RouteResult, bool) {
 // behaves like Route). Results may be shared with other callers and
 // must be treated as immutable.
 func (e *Engine) RouteK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool) {
-	res, hit, _ := e.routeK(s, d, k)
+	res, hit, _ := e.routeK(context.Background(), s, d, k)
 	return res, hit
 }
 
 // routeK additionally reports the generation of the snapshot that
 // answered — Engine.Generation() read separately could already be a
-// swap ahead of the router that computed the route.
-func (e *Engine) routeK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool, uint64) {
+// swap ahead of the router that computed the route. ctx carries the
+// request's trace, when one is active; with a plain context every
+// span call below is a nil no-op.
+func (e *Engine) routeK(ctx context.Context, s, d roadnet.VertexID, k int) ([]core.RouteResult, bool, uint64) {
 	if k < 1 {
 		k = 1
 	}
@@ -258,8 +277,13 @@ func (e *Engine) routeK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool,
 	start := time.Now()
 	snap := e.snap.Load()
 	key := cacheKey{s: s, d: d, k: int32(k)}
+	sp := obs.SpanFrom(ctx)
 	if e.cache != nil {
-		if res, ok := e.cache.get(key, snap.gen); ok {
+		c := sp.Start("cache.lookup")
+		res, ok := e.cache.get(key, snap.gen)
+		c.End()
+		if ok {
+			sp.Annotate("cache", "hit")
 			e.met.observe(res[0].Category, time.Since(start))
 			return res, true, snap.gen
 		}
@@ -268,15 +292,20 @@ func (e *Engine) routeK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool,
 	shared := false
 	if e.flights != nil {
 		// Coalesce concurrent duplicates: one leader computes (and
-		// fills the cache), followers share its answer.
+		// fills the cache), followers share its answer. For the leader
+		// the coalesce span covers the computation itself; for a
+		// follower it is pure wait time.
+		w := sp.Start("coalesce")
 		res, shared = e.flights.do(flightKey{key: key, gen: snap.gen}, func() []core.RouteResult {
-			return e.compute(snap, key, s, d, k)
+			return e.compute(ctx, snap, key, s, d, k)
 		})
+		w.End()
 		if shared {
+			sp.Annotate("coalesced", "true")
 			e.coalesced.Add(1)
 		}
 	} else {
-		res = e.compute(snap, key, s, d, k)
+		res = e.compute(ctx, snap, key, s, d, k)
 	}
 	e.met.observe(res[0].Category, time.Since(start))
 	return res, shared, snap.gen
@@ -284,15 +313,19 @@ func (e *Engine) routeK(s, d roadnet.VertexID, k int) ([]core.RouteResult, bool,
 
 // compute runs one route computation on a borrowed clone of snap's
 // router and caches the answer under snap's generation.
-func (e *Engine) compute(snap *snapshot, key cacheKey, s, d roadnet.VertexID, k int) []core.RouteResult {
+func (e *Engine) compute(ctx context.Context, snap *snapshot, key cacheKey, s, d roadnet.VertexID, k int) []core.RouteResult {
+	ctx, csp := obs.StartSpan(ctx, "route.compute")
+	acq := csp.Start("snapshot.acquire")
 	r := snap.borrow()
+	acq.End()
 	var res []core.RouteResult
 	if k == 1 {
-		res = []core.RouteResult{r.Route(s, d)}
+		res = []core.RouteResult{r.RouteCtx(ctx, s, d)}
 	} else {
-		res = r.RouteK(s, d, k)
+		res = r.RouteKCtx(ctx, s, d, k)
 	}
 	snap.release(r)
+	csp.End()
 	e.computes.Add(1)
 	if e.cache != nil {
 		// Tag the entry with the generation that computed it: if a swap
@@ -309,14 +342,14 @@ func (e *Engine) compute(snap *snapshot, key cacheKey, s, d roadnet.VertexID, k 
 // Concurrent Ingest calls serialize; queries keep reading the previous
 // generation until the swap.
 func (e *Engine) Ingest(ts []*traj.Trajectory) core.IngestStats {
-	st, _ := e.ingest(ts, e.opt.Ingest)
+	st, _ := e.ingest(context.Background(), ts, e.opt.Ingest)
 	return st
 }
 
 // ingest additionally reports the generation it published — reading
 // Generation() afterwards could observe a later concurrent swap.
-func (e *Engine) ingest(ts []*traj.Trajectory, opt core.IngestOptions) (core.IngestStats, uint64) {
-	st, gen, _ := e.ingestDurable(ts, opt)
+func (e *Engine) ingest(ctx context.Context, ts []*traj.Trajectory, opt core.IngestOptions) (core.IngestStats, uint64) {
+	st, gen, _ := e.ingestDurable(ctx, ts, opt)
 	return st, gen
 }
 
@@ -329,25 +362,36 @@ func (e *Engine) ingest(ts []*traj.Trajectory, opt core.IngestOptions) (core.Ing
 // succeeded; an append failure is counted and the batch still serves
 // from memory, so ingestion degrades to pre-WAL behavior rather than
 // dropping data on a full disk.
-func (e *Engine) ingestDurable(ts []*traj.Trajectory, opt core.IngestOptions) (core.IngestStats, uint64, bool) {
+func (e *Engine) ingestDurable(ctx context.Context, ts []*traj.Trajectory, opt core.IngestOptions) (core.IngestStats, uint64, bool) {
 	e.waitReady()
+	sp := obs.SpanFrom(ctx)
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	durable := false
 	if e.dur != nil {
+		ap := sp.Start("wal.append")
 		durable = e.dur.append(wal.Batch{SkipMapMatching: opt.SkipMapMatching, Trajs: ts})
+		ap.End()
 	}
 	start := time.Now()
 	cur := e.snap.Load()
+	cl := sp.Start("snapshot.clone")
 	next := cur.base.DeepClone()
+	cl.End()
+	ig := sp.Start("ingest.apply")
 	st := next.Ingest(ts, opt)
+	ig.End()
+	sw := sp.Start("snapshot.swap")
 	e.snap.Store(newSnapshot(next, cur.gen+1))
 	e.lastSwapUnix.Store(time.Now().UnixNano())
+	sw.End()
 	e.lastIngestNs.Store(int64(time.Since(start)))
 	e.ingests.Add(1)
 	e.ingestedTrajs.Add(uint64(len(ts)))
-	if e.dur != nil && durable {
-		e.dur.maybeCheckpoint(next, e.trajSeq.Load())
+	if e.dur != nil && durable && e.dur.shouldCheckpoint() {
+		ck := sp.Start("wal.checkpoint")
+		e.dur.checkpointLocked(next, e.trajSeq.Load())
+		ck.End()
 	}
 	return st, cur.gen + 1, durable
 }
@@ -364,10 +408,22 @@ func (e *Engine) NextTrajectoryID() int { return int(e.trajSeq.Add(1) - 1) }
 // regardless of the engine's ingest options. It reports the stats and
 // the generation it published.
 func (e *Engine) IngestMatched(ts []*traj.Trajectory) (core.IngestStats, uint64) {
+	return e.IngestMatchedCtx(context.Background(), ts)
+}
+
+// IngestMatchedCtx is IngestMatched with request tracing: when ctx
+// carries a trace (stream flush, HTTP ingest), the write path's stages
+// — WAL append, snapshot clone, ingest apply, swap, checkpoint — are
+// recorded as spans under it.
+func (e *Engine) IngestMatchedCtx(ctx context.Context, ts []*traj.Trajectory) (core.IngestStats, uint64) {
 	opt := e.opt.Ingest
 	opt.SkipMapMatching = true
-	return e.ingest(ts, opt)
+	return e.ingest(ctx, ts, opt)
 }
+
+// Tracer returns the engine's tracer (nil when telemetry is not
+// configured — the nil *Tracer is safe to use everywhere).
+func (e *Engine) Tracer() *obs.Tracer { return e.trc }
 
 // Publish swaps in an externally built router (e.g. after a full
 // offline rebuild when ingest reports RebuildRecommended, or a hot

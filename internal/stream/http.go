@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -50,6 +51,8 @@ func (ing *Ingestor) Handler() http.Handler {
 			serve.WriteError(w, http.StatusMethodNotAllowed, "use POST")
 			return
 		}
+		sp := obs.SpanFrom(r.Context())
+		sess := sp.Start("stream.sessionize")
 		dec := json.NewDecoder(r.Body)
 		var reply streamReply
 		seen := make(map[string]bool)
@@ -60,10 +63,12 @@ func (ing *Ingestor) Handler() http.Handler {
 				break
 			}
 			if err != nil {
+				sess.End()
 				serve.WriteError(w, serve.DecodeStatus(err), "record %d: %v", reply.Points+reply.Control+1, err)
 				return
 			}
 			if p.Vehicle == "" {
+				sess.End()
 				serve.WriteError(w, http.StatusBadRequest, "record %d: missing vehicle", reply.Points+reply.Control+1)
 				return
 			}
@@ -81,8 +86,11 @@ func (ing *Ingestor) Handler() http.Handler {
 			}
 			reply.Closed = true
 		}
+		sess.End()
 		if r.URL.Query().Get("flush") == "1" {
-			reply.Flushed = ing.Flush()
+			fl := sp.Start("stream.flush")
+			reply.Flushed = ing.FlushCtx(r.Context())
+			fl.End()
 		}
 		reply.Vehicles = len(seen)
 		reply.Durable = ing.eng.Durable()

@@ -1,10 +1,12 @@
 package stream
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/serve"
 	"repro/internal/traj"
@@ -153,6 +155,30 @@ func (ing *Ingestor) flusher() {
 // network, counting them as queue drops, instead of corrupting the
 // router; re-attach the pipeline after such a swap.
 func (ing *Ingestor) Flush() int {
+	// Background flushes open their own root trace (named stream.flush)
+	// so the write path's WAL/clone/swap spans land in the trace ring
+	// even when no HTTP request drove them. Opened only when there is
+	// work queued — an empty-queue poll must not pollute the ring.
+	if !ing.queued() {
+		return 0
+	}
+	ctx, sp := ing.eng.Tracer().StartRequest(context.Background(), "stream.flush", "")
+	n := ing.FlushCtx(ctx)
+	sp.End()
+	return n
+}
+
+// queued reports whether any trajectory is waiting.
+func (ing *Ingestor) queued() bool {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return len(ing.queue) > 0
+}
+
+// FlushCtx is Flush under the caller's trace: the validation pass and
+// the engine write path record spans into the trace ctx carries (the
+// HTTP ?flush=1 form uses the request's own trace).
+func (ing *Ingestor) FlushCtx(ctx context.Context) int {
 	ing.mu.Lock()
 	batch := ing.queue
 	ing.queue = nil
@@ -160,6 +186,7 @@ func (ing *Ingestor) Flush() int {
 	if len(batch) == 0 {
 		return 0
 	}
+	val := obs.SpanFrom(ctx).Start("stream.validate")
 	road := ing.eng.Snapshot().Road()
 	kept := batch[:0]
 	for _, t := range batch {
@@ -169,12 +196,13 @@ func (ing *Ingestor) Flush() int {
 			ing.queueDrops.Add(1)
 		}
 	}
+	val.End()
 	batch = kept
 	if len(batch) == 0 {
 		return 0
 	}
 	start := time.Now()
-	ing.eng.IngestMatched(batch)
+	ing.eng.IngestMatchedCtx(ctx, batch)
 	ing.flushes.Add(1)
 	ing.flushedTrajs.Add(uint64(len(batch)))
 	ing.lastBatch.Store(int64(len(batch)))

@@ -22,8 +22,11 @@ package l2r
 import (
 	"context"
 	"io"
+	"log/slog"
+	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/serve"
 	"repro/internal/stream"
@@ -313,3 +316,32 @@ func ReadStreamNDJSON(r io.Reader) ([]StreamPoint, error) { return stream.ReadND
 func ReplayStream(ctx context.Context, ing *StreamIngestor, pts []StreamPoint, rate float64) int {
 	return stream.Replay(ctx, ing, pts, rate)
 }
+
+// Telemetry re-exports. A Tracer (ServeOptions.Tracer) records
+// per-request span trees through every serving layer — HTTP parse,
+// cache lookup, coalescing, snapshot acquire, the routing stages, WAL
+// append, snapshot swap — into a ring served by /debug/trace, a
+// slow-query log, and per-stage latency histograms exported on
+// /metrics in Prometheus text format. See internal/obs.
+type (
+	// Tracer records request traces and per-stage histograms.
+	Tracer = obs.Tracer
+	// TraceConfig tunes a Tracer (ring sizes, slow-query threshold).
+	TraceConfig = obs.Config
+	// Trace is one completed request trace (the /debug/trace unit).
+	Trace = obs.Trace
+	// TracerStats summarizes tracer activity.
+	TracerStats = obs.TracerStats
+	// EngineDebugSnapshot is the non-blocking /debug/snapshot payload.
+	EngineDebugSnapshot = serve.DebugSnapshot
+)
+
+// NewTracer creates an enabled request tracer; set it on
+// ServeOptions.Tracer (one shared Tracer for a whole fleet) before
+// building engines.
+func NewTracer(cfg TraceConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// AccessLog wraps an engine or fleet HTTP handler with one structured
+// slog line per request: method, path, tenant, status, bytes, duration
+// and request ID.
+func AccessLog(l *slog.Logger, h http.Handler) http.Handler { return serve.AccessLog(l, h) }
