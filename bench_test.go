@@ -14,6 +14,7 @@ package repro_test
 import (
 	"bytes"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -894,6 +895,138 @@ func BenchmarkServeIngest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Ingest(batch)
 	}
+}
+
+// --- Customizable CH: re-customization and swap cost -----------------------
+
+// BenchmarkCustomize measures the two phases of the customizable
+// hierarchy separately: the one-time metric-independent contraction
+// (Contract) and the per-metric weight pass over the fixed skeleton
+// (Customize). Their ratio is why the serving swap path re-customizes
+// instead of re-contracting: a metric refresh costs one bottom-up
+// triangle sweep over preallocated flat arrays.
+func BenchmarkCustomize(b *testing.B) {
+	w := benchWorld(b)
+	b.Run("Contract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ch.BuildTopology(w.Road)
+		}
+	})
+	b.Run("Customize", func(b *testing.B) {
+		topo := ch.BuildTopology(w.Road)
+		m := topo.NewMetric()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Customize(func(e roadnet.EdgeID) float64 { return w.Road.EdgeWeight(e, roadnet.TT) })
+		}
+		b.ReportMetric(float64(topo.NumArcs()), "arcs")
+	})
+}
+
+// BenchmarkSwapCost measures the per-ingest snapshot swap overhead —
+// everything serve.Engine.ingestDurable does to turn a batch into a
+// servable generation beyond applying the batch itself — under both
+// clone strategies:
+//
+//   - DeepClone: the old write path — deep-copy every region edge's
+//     stored path sets before ingesting.
+//   - Recustomize: the current write path — copy-on-write clone
+//     (IngestClone, outer slice headers only) plus re-customization of
+//     whatever CH metrics the batch's re-learned preferences introduced.
+//
+// Applying the batch (Ingest) is identical work in both variants and
+// runs outside the timer. The ratio is the swap-cost collapse: the old
+// path paid O(everything ever stored) per batch, the new one O(batch).
+func BenchmarkSwapCost(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter().DeepClone()
+	r.EnableCH(ch.Config{})
+	batch := w.Test
+	if len(batch) > 20 {
+		batch = batch[:20]
+	}
+	// The swap phases are timed manually and reported as the override
+	// ns/op (StopTimer/StartTimer around the untimed Ingest would cost
+	// more in ReadMemStats than the phases being measured).
+	opt := core.IngestOptions{SkipMapMatching: true}
+	b.Run("DeepClone", func(b *testing.B) {
+		var swap time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			next := r.DeepClone()
+			swap += time.Since(t0)
+			next.Ingest(batch, opt)
+		}
+		b.ReportMetric(float64(swap.Nanoseconds())/float64(b.N), "ns/op")
+	})
+	b.Run("Recustomize", func(b *testing.B) {
+		var swap time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			next := r.IngestClone()
+			swap += time.Since(t0)
+			st := next.Ingest(batch, opt)
+			t1 := time.Now()
+			next.PrepareMetricsTouched(st.TouchedEdges)
+			swap += time.Since(t1)
+		}
+		b.ReportMetric(float64(swap.Nanoseconds())/float64(b.N), "ns/op")
+	})
+}
+
+// BenchmarkRouteP99 measures end-to-end route latency on the CH-backed
+// router and reports the tail (p99-ns) alongside the mean — the number
+// the CI regression guard tracks, since customization regressions that
+// push cold metrics inline show up in the tail first.
+func BenchmarkRouteP99(b *testing.B) {
+	w := benchWorld(b)
+	r := w.MustRouter().DeepClone()
+	r.EnableCH(ch.Config{})
+	single := r.Clone()
+	qs := benchQueries(b)
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		t0 := time.Now()
+		single.Route(q.S, q.D)
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+	}
+}
+
+// BenchmarkRoutePrefCH measures preference-restricted queries
+// (RoutePref, the Algorithm 2 hot path) on the hierarchy versus plain
+// Dijkstra. The CH variant resolves the slave predicate to a road-type
+// mask and queries a pre-customized metric; allocs/op verifies the
+// per-fork scratch reuse — steady state allocates only the returned
+// path.
+func BenchmarkRoutePrefCH(b *testing.B) {
+	w := benchWorld(b)
+	qs := benchQueries(b)
+	master := roadnet.TT
+	slave := func(t roadnet.RoadType) bool { return t != roadnet.Motorway }
+	che := route.BuildCHEngine(w.Road, master, ch.Config{})
+	dij := route.NewEngine(w.Road)
+	b.Run("CH", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			che.RoutePref(q.S, q.D, master, slave)
+		}
+	})
+	b.Run("Dijkstra", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			dij.RoutePref(q.S, q.D, master, slave)
+		}
+	})
 }
 
 // BenchmarkAblationMu sweeps the Eq. 2 hyper-parameters.

@@ -98,6 +98,7 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 16, "route cache shard count")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	pathEngine := flag.String("path-engine", "dijkstra", "shortest-path backend: dijkstra or ch (contraction hierarchy, built once at startup)")
+	chPrewarm := flag.Bool("ch-prewarm", true, "ch backend: pre-customize all learned preference metrics at startup (false defers each to its first query)")
 	walDir := flag.String("wal-dir", "", "durable ingestion: write-ahead log + checkpoint directory (fleet mode: one subdirectory per tenant); empty disables")
 	checkpointEvery := flag.Int("checkpoint-every", 4096, "durable ingestion: trajectories between automatic checkpoints (negative disables)")
 	walSync := flag.String("wal-sync", "always", "write-ahead log fsync policy: always or none")
@@ -175,7 +176,7 @@ func main() {
 		return
 	}
 
-	router, err := loadRouter(*artifact, *network, *trips, *seed, backend)
+	router, err := loadRouter(*artifact, *network, *trips, *seed, backend, *chPrewarm)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -196,8 +197,9 @@ func main() {
 	}
 	if backend == l2r.BackendCH {
 		st = router.Stats()
-		log.Printf("path engine: contraction hierarchy (%d shortcuts, built in %s)",
-			st.CHShortcuts, st.CHBuildTime.Round(time.Millisecond))
+		log.Printf("path engine: customizable contraction hierarchy (%d shortcuts, contracted in %s; %d metrics customized in %s)",
+			st.CHShortcuts, st.CHBuildTime.Round(time.Millisecond),
+			st.CHMetrics, st.CHCustomizeTime.Round(time.Microsecond))
 	} else {
 		log.Printf("path engine: dijkstra")
 	}
@@ -403,7 +405,7 @@ func serveAndDrain(addr string, h http.Handler, drain time.Duration, background 
 // For synthetic builds the backend is passed to Build so B-edge
 // materialization already runs on it; loaded artifacts are upgraded by
 // the serve engine (ServeOptions.PathBackend) instead.
-func loadRouter(artifact, network string, trips int, seed int64, backend l2r.PathBackend) (*l2r.Router, error) {
+func loadRouter(artifact, network string, trips int, seed int64, backend l2r.PathBackend, prewarm bool) (*l2r.Router, error) {
 	if artifact != "" {
 		f, err := os.Open(artifact)
 		if err != nil {
@@ -432,5 +434,5 @@ func loadRouter(artifact, network string, trips int, seed int64, backend l2r.Pat
 	log.Printf("no artifact: building synthetic %s world (%d trips, seed %d)", network, trips, seed)
 	all := traj.NewSimulator(g, cfg).Run()
 	train, _ := traj.Split(all, 0.75*cfg.HorizonSec)
-	return l2r.Build(g, train, l2r.Options{SkipMapMatching: true, PathBackend: backend})
+	return l2r.Build(g, train, l2r.Options{SkipMapMatching: true, PathBackend: backend, NoMetricPrewarm: !prewarm})
 }

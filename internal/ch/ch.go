@@ -25,14 +25,26 @@ type Hierarchy struct {
 
 	rank []int32 // vertex -> contraction order (0 = contracted first)
 
-	// up holds forward arcs leading to higher-ranked vertices; down
-	// holds reverse arcs (u in down[v] means arc v<-u in the original
-	// direction) whose tail u is higher-ranked than v. Queries relax
-	// up from the source and down from the destination.
-	up   [][]arc
-	down [][]arc
+	// The upward arcs are stored flat in CSR form: upArcs[upStart[v]:
+	// upStart[v+1]] holds v's forward arcs to higher-ranked vertices,
+	// downArcs the reverse arcs (a down arc v→u means original arc u→v)
+	// whose head u outranks v. Queries relax up from the source and down
+	// from the destination; the flat layout keeps the per-vertex ranges
+	// contiguous in cache instead of chasing per-vertex slice headers.
+	upStart, downStart []int32
+	upArcs, downArcs   []arc
 
 	shortcuts int
+}
+
+// upOf returns v's upward arc range.
+func (h *Hierarchy) upOf(v roadnet.VertexID) []arc {
+	return h.upArcs[h.upStart[v]:h.upStart[v+1]]
+}
+
+// downOf returns v's downward arc range.
+func (h *Hierarchy) downOf(v roadnet.VertexID) []arc {
+	return h.downArcs[h.downStart[v]:h.downStart[v+1]]
 }
 
 // Config tunes preprocessing. The zero value is usable.
@@ -84,9 +96,9 @@ func Build(g *roadnet.Graph, w roadnet.Weight, cfg Config) *Hierarchy {
 		g:    g,
 		w:    w,
 		rank: make([]int32, n),
-		up:   make([][]arc, n),
-		down: make([][]arc, n),
 	}
+	up := make([][]arc, n)
+	down := make([][]arc, n)
 
 	ws := newWitnessSearch(n, cfg.WitnessHopLimit)
 
@@ -109,10 +121,32 @@ func Build(g *roadnet.Graph, w roadnet.Weight, cfg Config) *Hierarchy {
 				continue
 			}
 		}
-		h.contract(wg, roadnet.VertexID(v), ws, order)
+		h.contract(wg, roadnet.VertexID(v), ws, order, up, down)
 		order++
 	}
+	h.flatten(up, down)
 	return h
+}
+
+// flatten packs the per-vertex arc slices accumulated during
+// contraction into the flat CSR arrays queries iterate.
+func (h *Hierarchy) flatten(up, down [][]arc) {
+	n := len(up)
+	nUp, nDown := 0, 0
+	for v := 0; v < n; v++ {
+		nUp += len(up[v])
+		nDown += len(down[v])
+	}
+	h.upStart = make([]int32, n+1)
+	h.downStart = make([]int32, n+1)
+	h.upArcs = make([]arc, 0, nUp)
+	h.downArcs = make([]arc, 0, nDown)
+	for v := 0; v < n; v++ {
+		h.upArcs = append(h.upArcs, up[v]...)
+		h.downArcs = append(h.downArcs, down[v]...)
+		h.upStart[v+1] = int32(len(h.upArcs))
+		h.downStart[v+1] = int32(len(h.downArcs))
+	}
 }
 
 // peek returns the minimum entry without removing it.
@@ -217,8 +251,9 @@ func (wg *workGraph) forShortcuts(v roadnet.VertexID, ws *witnessSearch, fn func
 }
 
 // contract removes v from the overlay graph, adding shortcuts and
-// recording v's upward arcs in the hierarchy.
-func (h *Hierarchy) contract(wg *workGraph, v roadnet.VertexID, ws *witnessSearch, order int32) {
+// recording v's upward arcs in the build-time slices (flattened into
+// CSR once contraction finishes).
+func (h *Hierarchy) contract(wg *workGraph, v roadnet.VertexID, ws *witnessSearch, order int32, up, down [][]arc) {
 	wg.forShortcuts(v, ws, func(u, t roadnet.VertexID, cost float64) {
 		wg.addArc(u, t, cost, v)
 		h.shortcuts++
@@ -230,7 +265,7 @@ func (h *Hierarchy) contract(wg *workGraph, v roadnet.VertexID, ws *witnessSearc
 	// recorded when those vertices were contracted.
 	for _, a := range wg.fwd[v] {
 		if !wg.contracted[a.to] {
-			h.up[v] = append(h.up[v], a)
+			up[v] = append(up[v], a)
 			if wg.level[a.to] <= wg.level[v] {
 				wg.level[a.to] = wg.level[v] + 1
 			}
@@ -238,7 +273,7 @@ func (h *Hierarchy) contract(wg *workGraph, v roadnet.VertexID, ws *witnessSearc
 	}
 	for _, a := range wg.bwd[v] {
 		if !wg.contracted[a.to] {
-			h.down[v] = append(h.down[v], a)
+			down[v] = append(down[v], a)
 			if wg.level[a.to] <= wg.level[v] {
 				wg.level[a.to] = wg.level[v] + 1
 			}

@@ -90,12 +90,12 @@ func TestUpwardProperty(t *testing.T) {
 	g := roadnet.Generate(roadnet.Tiny(9))
 	h := Build(g, roadnet.DI, Config{})
 	for v := 0; v < g.NumVertices(); v++ {
-		for _, a := range h.up[v] {
+		for _, a := range h.upOf(roadnet.VertexID(v)) {
 			if h.rank[a.to] <= h.rank[v] {
 				t.Fatalf("up arc %d->%d violates rank order (%d <= %d)", v, a.to, h.rank[a.to], h.rank[v])
 			}
 		}
-		for _, a := range h.down[v] {
+		for _, a := range h.downOf(roadnet.VertexID(v)) {
 			if h.rank[a.to] <= h.rank[v] {
 				t.Fatalf("down arc %d<-%d violates rank order (%d <= %d)", v, a.to, h.rank[a.to], h.rank[v])
 			}

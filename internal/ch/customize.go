@@ -1,0 +1,94 @@
+package ch
+
+import (
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// Metric is one customization of a Topology: per-skeleton-arc weights
+// for a specific edge-cost function, in both directions. wUp[k] is the
+// cost of traveling arc k from its lower-ranked owner to the higher
+// endpoint, wDown[k] the reverse; viaUp/viaDown record the contracted
+// middle vertex when the respective direction is a shortcut (-1 when it
+// is the original road edge), which path unpacking recurses on.
+//
+// A Metric is immutable after Customize returns and safe for concurrent
+// queries; re-customizing an in-use Metric is a data race — customize
+// into a fresh one and swap pointers (metric versioning), which is what
+// route.CHEngine does.
+type Metric struct {
+	t              *Topology
+	wUp, wDown     []float64
+	viaUp, viaDown []int32
+}
+
+// NewMetric allocates an uncustomized metric over t. Call Customize
+// before querying.
+func (t *Topology) NewMetric() *Metric {
+	m := len(t.upTo)
+	return &Metric{
+		t:       t,
+		wUp:     make([]float64, m),
+		wDown:   make([]float64, m),
+		viaUp:   make([]int32, m),
+		viaDown: make([]int32, m),
+	}
+}
+
+// Customize recomputes every shortcut weight for the given non-negative
+// edge-cost function, without re-contracting: arcs are seeded from the
+// original road edges they cover (+Inf where none exists or the cost
+// function forbids the edge), then each lower triangle {a; b1, b2} is
+// relaxed in ascending rank order of a, so by the time a vertex's
+// triangles are processed its own arcs are final. One pass over the
+// skeleton — milliseconds where re-contraction takes seconds.
+func (m *Metric) Customize(cost func(roadnet.EdgeID) float64) {
+	t := m.t
+	inf := math.Inf(1)
+	for k := range m.wUp {
+		m.wUp[k], m.viaUp[k] = inf, -1
+		m.wDown[k], m.viaDown[k] = inf, -1
+		if e := t.origUp[k]; e >= 0 {
+			m.wUp[k] = cost(roadnet.EdgeID(e))
+		}
+		if e := t.origDown[k]; e >= 0 {
+			m.wDown[k] = cost(roadnet.EdgeID(e))
+		}
+	}
+	n := len(t.rank)
+	for ri := 0; ri < n; ri++ {
+		a := t.order[ri]
+		lo, hi := t.upStart[a], t.upStart[a+1]
+		for i := lo; i < hi; i++ {
+			b1 := t.upTo[i]
+			for j := i + 1; j < hi; j++ {
+				// rank(b1) < rank(b2): the arc {b1, b2} is owned by b1 and
+				// exists by construction (contracting a made them adjacent).
+				b2 := t.upTo[j]
+				k := t.findArc(b1, b2)
+				if k < 0 {
+					continue
+				}
+				// b1 → a → b2 improves the up direction of {b1, b2};
+				// b2 → a → b1 the down direction.
+				if w := m.wDown[i] + m.wUp[j]; w < m.wUp[k] {
+					m.wUp[k], m.viaUp[k] = w, a
+				}
+				if w := m.wDown[j] + m.wUp[i]; w < m.wDown[k] {
+					m.wDown[k], m.viaDown[k] = w, a
+				}
+			}
+		}
+	}
+}
+
+// Customize builds and customizes a fresh metric in one call.
+func (t *Topology) Customize(cost func(roadnet.EdgeID) float64) *Metric {
+	m := t.NewMetric()
+	m.Customize(cost)
+	return m
+}
+
+// Topology returns the skeleton this metric customizes.
+func (m *Metric) Topology() *Topology { return m.t }

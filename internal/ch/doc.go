@@ -1,9 +1,29 @@
-// Package ch implements contraction hierarchies (Geisberger et al., WEA
-// 2008), the speed-up technique the paper cites as reference [16] and
-// names as a future research direction for accelerating all compared
-// routing algorithms consistently (Section VII-C). The hierarchy is
-// built once per (graph, weight) pair and then answers point-to-point
-// queries with a bidirectional upward search that settles orders of
-// magnitude fewer vertices than plain Dijkstra while returning exactly
-// the same costs.
+// Package ch implements contraction hierarchies — the speed-up
+// technique the paper cites as reference [16] and names as the way to
+// accelerate all compared routing algorithms consistently (Section
+// VII-C) — in two flavors sharing one query discipline (bidirectional
+// upward search, flat CSR arc arrays, shortcut unpacking):
+//
+// Legacy CH (Build / Hierarchy / Query, Geisberger et al., WEA 2008)
+// couples contraction to one weight function: witness searches prune
+// shortcuts the metric makes redundant, so preprocessing must be redone
+// from scratch whenever edge costs change.
+//
+// Customizable CH (BuildTopology / Topology / Metric / MetricQuery,
+// after Dibbelt, Strasser and Wagner's Customizable Contraction
+// Hierarchies) splits that pipeline at the metric boundary. BuildTopology
+// contracts the road network once, metric-independently — no witness
+// searches, every potential shortcut kept — producing a fixed skeleton
+// of undirected arcs in flat CSR int32 arrays. Metric.Customize then
+// assigns both directed weights to every skeleton arc for an arbitrary
+// non-negative edge-cost function by relaxing lower triangles bottom-up
+// in contraction order: one linear pass over the skeleton, milliseconds
+// where re-contraction costs seconds. Routing preferences, live traffic
+// weights and custom cost functions each become just another Metric over
+// the shared Topology, and MetricQuery answers any of them from one
+// reusable per-goroutine scratch (epoch-reset arrays, no per-query
+// allocation).
+//
+// Both flavors return exactly Dijkstra's costs; property tests in this
+// package pin CCH ≡ legacy CH ≡ Dijkstra equivalence.
 package ch

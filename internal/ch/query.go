@@ -136,7 +136,7 @@ func (q *Query) appendUnpacked(path roadnet.Path, from, to, via roadnet.VertexID
 // arcInto finds the arc from `from` into v among v's recorded arcs and
 // returns its shortcut middle (NoVertex for an original edge).
 func (q *Query) arcInto(v, from roadnet.VertexID) (roadnet.VertexID, bool) {
-	for _, a := range q.h.down[v] {
+	for _, a := range q.h.downOf(v) {
 		if a.to == from {
 			return a.via, true
 		}
@@ -146,7 +146,7 @@ func (q *Query) arcInto(v, from roadnet.VertexID) (roadnet.VertexID, bool) {
 
 // arcFrom finds the arc from v to `to` among v's recorded arcs.
 func (q *Query) arcFrom(v, to roadnet.VertexID) (roadnet.VertexID, bool) {
-	for _, a := range q.h.up[v] {
+	for _, a := range q.h.upOf(v) {
 		if a.to == to {
 			return a.via, true
 		}
@@ -168,7 +168,9 @@ func (q *Query) run(s, d roadnet.VertexID) (float64, roadnet.VertexID, bool) {
 	best := math.Inf(1)
 	meet := roadnet.NoVertex
 
-	relax := func(side *searchSide, arcs [][]arc, other *searchSide) {
+	// Relax over the flat CSR ranges: start[v]..start[v+1] into arcs,
+	// contiguous per vertex instead of per-vertex slice headers.
+	relax := func(side *searchSide, start []int32, arcs []arc, other *searchSide) {
 		v, dv := side.pq.Pop()
 		if dv > side.d(roadnet.VertexID(v)) {
 			return
@@ -177,7 +179,7 @@ func (q *Query) run(s, d roadnet.VertexID) (float64, roadnet.VertexID, bool) {
 			best = dv + od
 			meet = roadnet.VertexID(v)
 		}
-		for _, a := range arcs[v] {
+		for _, a := range arcs[start[v]:start[v+1]] {
 			nd := dv + a.cost
 			if nd < side.d(a.to) {
 				side.set(a.to, nd, roadnet.VertexID(v), a.via)
@@ -199,9 +201,9 @@ func (q *Query) run(s, d roadnet.VertexID) (float64, roadnet.VertexID, bool) {
 			break
 		}
 		if minF <= minB && q.fwd.pq.Len() > 0 {
-			relax(&q.fwd, h.up, &q.bwd)
+			relax(&q.fwd, h.upStart, h.upArcs, &q.bwd)
 		} else if q.bwd.pq.Len() > 0 {
-			relax(&q.bwd, h.down, &q.fwd)
+			relax(&q.bwd, h.downStart, h.downArcs, &q.fwd)
 		}
 	}
 	if math.IsInf(best, 1) {

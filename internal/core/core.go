@@ -29,12 +29,14 @@ const (
 	// BackendDijkstra is plain Dijkstra for every query (the original
 	// behaviour).
 	BackendDijkstra PathBackend = iota
-	// BackendCH accelerates scalar fastest-path queries — Case 2
-	// approach searches, fastest fallbacks, null-preference connectors
-	// — with a contraction hierarchy built once at Build (or EnableCH)
-	// time and shared, immutable, by every Clone and serving fork.
-	// Preference-constrained searches still run Algorithm 2's modified
-	// Dijkstra, which shortcut arcs cannot express.
+	// BackendCH runs every query family on a customizable contraction
+	// hierarchy: the road network is contracted once, metric-
+	// independently, at Build (or EnableCH) time, and scalar weights,
+	// Algorithm 2 preference searches, and custom cost functions each
+	// ride the shared skeleton under their own customized metric —
+	// recomputed in milliseconds when preferences change, without
+	// re-contraction. The topology and the customized-metric table are
+	// shared, immutable-per-version, by every Clone and serving fork.
 	BackendCH
 )
 
@@ -110,12 +112,20 @@ type Options struct {
 	// 0.7; set negative to disable gating).
 	MinConfidence float64
 	// PathBackend selects the shortest-path engine (default plain
-	// Dijkstra; BackendCH builds a contraction hierarchy once at Build
-	// time and serves scalar fastest paths through it).
+	// Dijkstra; BackendCH contracts a metric-independent hierarchy once
+	// at Build time and serves scalar, preference-restricted and
+	// custom-weight queries through per-metric customizations of it).
 	PathBackend PathBackend
 	// CH tunes contraction-hierarchy preprocessing when PathBackend is
 	// BackendCH; the zero value is usable.
 	CH ch.Config
+	// NoMetricPrewarm skips the PrepareMetrics pass at the end of a
+	// BackendCH Build: startup gets cheaper and each metric — the three
+	// scalar weights plus one per distinct learned ⟨master, slave⟩
+	// preference — is customized lazily by the first query that needs
+	// it, paying the customization latency inline. Serving setups
+	// should keep prewarm on.
+	NoMetricPrewarm bool
 }
 
 func (o Options) withDefaults() Options {
@@ -150,10 +160,15 @@ type Stats struct {
 	LearnTime       time.Duration
 	TransferTime    time.Duration
 	MaterializeTime time.Duration
-	// CHBuildTime and CHShortcuts record contraction-hierarchy
-	// preprocessing when the CH path backend is enabled.
-	CHBuildTime time.Duration
-	CHShortcuts int
+	// CHBuildTime and CHShortcuts record the one-time metric-independent
+	// topology contraction when the CH path backend is enabled;
+	// CHCustomizeTime and CHMetrics record the last PrepareMetrics pass
+	// (how long re-customizing the preference metrics took, and how many
+	// metrics were customized by it).
+	CHBuildTime     time.Duration
+	CHShortcuts     int
+	CHCustomizeTime time.Duration
+	CHMetrics       int
 }
 
 // Router is a built L2R system, ready to answer routing queries.
@@ -180,6 +195,10 @@ type Router struct {
 	meta  ArtifactMeta
 	// learned maps T-edge ID -> learned preference result.
 	learned map[int]pref.Result
+	// learnedCOW marks learned as shared with the parent this router
+	// was IngestClone'd from; the relearn loop privatizes it before
+	// its first write, mirroring the region graph's copy-on-write.
+	learnedCOW bool
 	// regionPrefs maps region ID -> preference learned from the
 	// region's inner paths; used for same-region queries with no exact
 	// inner-path match.
@@ -246,6 +265,7 @@ func (r *Router) DeepClone() *Router {
 	cp := *r
 	cp.eng = r.eng.Fork()
 	cp.rg = r.rg.Clone()
+	cp.learnedCOW = false
 	cp.learned = make(map[int]pref.Result, len(r.learned))
 	for k, v := range r.learned {
 		cp.learned[k] = v
@@ -261,6 +281,51 @@ func (r *Router) DeepClone() *Router {
 		}
 	}
 	return &cp
+}
+
+// IngestClone returns a copy-on-write clone built for the serving swap
+// path: like DeepClone, Ingest into the clone never mutates state
+// reachable from r, but instead of deep-copying every region edge's
+// path sets up front it shares them and privatizes exactly the edges,
+// inner-path lists and transfer-center lists the ingest batch touches
+// (region.Graph.CloneCOW). The per-swap cost drops from O(all stored
+// paths) to O(batch). The small preference maps are copied eagerly; the
+// path engine is forked as in Clone, sharing any CH topology and
+// customized-metric table.
+//
+// The isolation contract is one-directional, matching how serving uses
+// it: mutations through the clone never affect r, but r must stay
+// unmutated while clones derived from it are alive (the serving layer's
+// generation discipline — each generation is cloned from the previous
+// and the previous only ever serves reads). Use DeepClone when both
+// sides may be mutated independently.
+func (r *Router) IngestClone() *Router {
+	cp := *r
+	cp.eng = r.eng.Fork()
+	cp.rg = r.rg.CloneCOW()
+	// Of the preference maps only learned is written on the ingest path
+	// (the relearn loop), and it is privatized there on first write —
+	// see privatizeLearned. regionPrefs and multi are fixed at
+	// build/enable time, so the clone shares them outright. Anything
+	// that would mutate them (EnableMultiPreferences, a re-Build)
+	// belongs on a DeepClone, not an ingest generation.
+	cp.learnedCOW = true
+	return &cp
+}
+
+// privatizeLearned gives a copy-on-write clone its own learned map
+// before the first relearn write. No-op on routers that already own
+// theirs (built, deep-cloned, or already privatized).
+func (r *Router) privatizeLearned() {
+	if !r.learnedCOW {
+		return
+	}
+	own := make(map[int]pref.Result, len(r.learned)+16)
+	for k, v := range r.learned {
+		own[k] = v
+	}
+	r.learned = own
+	r.learnedCOW = false
 }
 
 // Build runs the full offline pipeline over a road network and a
@@ -382,6 +447,12 @@ func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Rout
 	transfer.Materialize(rg, res, &pathFinder{eng: r.eng.Fork()})
 	r.stats.MaterializeTime = time.Since(start)
 
+	// Pre-customize every preference metric the router routes on (CH
+	// backend only), so first queries never pay customization inline.
+	if !opt.NoMetricPrewarm {
+		r.PrepareMetrics()
+	}
+
 	return r, nil
 }
 
@@ -392,7 +463,7 @@ func newPathEngine(road *roadnet.Graph, opt Options, st *Stats) route.PathEngine
 		start := time.Now()
 		e := route.BuildCHEngine(road, roadnet.TT, opt.CH)
 		st.CHBuildTime = time.Since(start)
-		st.CHShortcuts = e.Hierarchy().Shortcuts()
+		st.CHShortcuts = e.Shortcuts()
 		return e
 	}
 	return route.NewEngine(road)
@@ -419,9 +490,87 @@ func (r *Router) EnableCH(cfg ch.Config) time.Duration {
 	start := time.Now()
 	e := route.BuildCHEngine(r.road, roadnet.TT, cfg)
 	r.stats.CHBuildTime = time.Since(start)
-	r.stats.CHShortcuts = e.Hierarchy().Shortcuts()
+	r.stats.CHShortcuts = e.Shortcuts()
 	r.eng = e
+	r.PrepareMetrics()
 	return r.stats.CHBuildTime
+}
+
+// PrepareMetrics pre-customizes the CH backend for every metric the
+// router currently routes on — the three scalar weights plus each
+// distinct ⟨master, slave⟩ preference applied on a region edge, learned
+// per region, or fitted by EnableMultiPreferences — so queries never pay
+// metric customization inline. Metrics already customized are shared,
+// not redone: after an ingest that re-learned preferences, only
+// combinations never seen before cost anything. It returns the number
+// of metrics customized now and records (count, elapsed) in Stats; a
+// Dijkstra-backed router returns 0. Like Ingest, it mutates engine
+// state and must not run concurrently with queries on clones sharing
+// this router's engine... except that it only *adds* metric versions,
+// so serving forks reading the previous metric table race-freely is
+// exactly the intended use (internal/serve customizes on the clone
+// before the snapshot swap).
+func (r *Router) PrepareMetrics() int {
+	che, ok := r.eng.(*route.CHEngine)
+	if !ok {
+		return 0
+	}
+	start := time.Now()
+	n := 0
+	for _, w := range []roadnet.Weight{roadnet.TT, roadnet.DI, roadnet.FC} {
+		if che.Prepare(w, 0) {
+			n++
+		}
+	}
+	prep := func(p pref.Preference) {
+		if che.Prepare(p.Master, p.Slave.Mask()) {
+			n++
+		}
+	}
+	for _, e := range r.rg.Edges {
+		if e.HasPref {
+			prep(e.Pref)
+		}
+	}
+	for _, res := range r.regionPrefs {
+		prep(res.Preference)
+	}
+	for _, mr := range r.multi {
+		for _, wp := range mr.Prefs {
+			prep(wp.Preference)
+		}
+	}
+	r.stats.CHMetrics = n
+	r.stats.CHCustomizeTime = time.Since(start)
+	return n
+}
+
+// PrepareMetricsTouched is the incremental PrepareMetrics for the
+// serving write path: after Ingest re-learned the preferences of
+// exactly IngestStats.TouchedEdges, only those edges can have
+// introduced a never-customized ⟨master, slave⟩ combination — region
+// and multi preferences are fixed at build/enable time. Scanning just
+// the touched IDs keeps the per-swap customize cost proportional to
+// the batch, not to the region graph. Unknown IDs are skipped, so
+// callers may pass IngestStats.TouchedEdges verbatim.
+func (r *Router) PrepareMetricsTouched(touched []int) int {
+	che, ok := r.eng.(*route.CHEngine)
+	if !ok {
+		return 0
+	}
+	start := time.Now()
+	n := 0
+	for _, id := range touched {
+		if id < 0 || id >= len(r.rg.Edges) {
+			continue
+		}
+		if e := r.rg.Edges[id]; e.HasPref && che.Prepare(e.Pref.Master, e.Pref.Slave.Mask()) {
+			n++
+		}
+	}
+	r.stats.CHMetrics = n
+	r.stats.CHCustomizeTime = time.Since(start)
+	return n
 }
 
 // sortLabeled orders labeled edges by ID for deterministic matrices.

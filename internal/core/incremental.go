@@ -85,8 +85,11 @@ func (r *Router) Ingest(ts []*traj.Trajectory, opt IngestOptions) IngestStats {
 	if opt.MaxRelearn > 0 && len(relearn) > opt.MaxRelearn {
 		relearn = relearn[:opt.MaxRelearn]
 	}
+	if len(relearn) > 0 {
+		r.privatizeLearned()
+	}
 	for _, id := range relearn {
-		e := r.rg.Edges[id]
+		e := r.rg.EdgeForUpdate(id)
 		var ps []roadnet.Path
 		for _, pi := range e.PathsFwd {
 			ps = append(ps, pi.Path)

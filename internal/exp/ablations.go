@@ -217,7 +217,6 @@ func CHSpeedupCompute(w *World, queries int) []CHRow {
 		start := time.Now()
 		che := route.BuildCHEngine(w.Road, weight, ch.Config{})
 		build := time.Since(start)
-		h := che.Hierarchy()
 
 		start = time.Now()
 		for _, p := range pairs {
@@ -239,7 +238,7 @@ func CHSpeedupCompute(w *World, queries int) []CHRow {
 		dijNs := float64(time.Since(start).Nanoseconds()) / float64(len(pairs))
 
 		rows = append(rows, CHRow{
-			Weight: weight, Shortcuts: h.Shortcuts(), BuildTime: build,
+			Weight: weight, Shortcuts: che.Shortcuts(), BuildTime: build,
 			CHQueryNs: chNs, BidiQueryNs: bidiNs, DijkQueryNs: dijNs, Speedup: dijNs / chNs,
 		})
 	}

@@ -51,6 +51,14 @@ func (s SlaveFeature) Predicate() route.SlavePredicate {
 	return func(t roadnet.RoadType) bool { return s.Contains(t) }
 }
 
+// Mask converts the feature to the route package's road-type bitmask
+// without materializing a predicate closure: both encode bit t = road
+// type t preferred, so the empty feature maps to the unrestricted mask
+// exactly like the nil Predicate. Metric-table code uses this on scans
+// over many edges, where route.MaskOf(s.Predicate()) would allocate a
+// closure and probe every road type per edge.
+func (s SlaveFeature) Mask() route.SlaveMask { return route.SlaveMask(s) }
+
 // String implements fmt.Stringer.
 func (s SlaveFeature) String() string {
 	if s.Empty() {

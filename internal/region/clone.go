@@ -2,6 +2,130 @@ package region
 
 import "repro/internal/roadnet"
 
+// cowState tracks which parts of a CloneCOW graph have been privatized.
+// A nil Graph.cow means the graph fully owns its data (built directly,
+// or deep-cloned) and mutation helpers are no-ops.
+type cowState struct {
+	edges []bool // Edges[i] privately owned
+	inner []bool // inner[i] (and its hash cache) privately owned
+	tcs   []bool // transferCenters[i] privately owned
+	adj   []bool // adj[i] privately owned
+	index bool   // index map privately owned
+}
+
+// CloneCOW returns a copy-on-write clone: the outer slice headers are
+// copied (O(regions + edges) pointers) while every edge, path set,
+// inner-path list and transfer-center list stays shared with g until
+// the first mutation touches it, at which point exactly that piece is
+// copied (mutEdge and friends below). AddPaths plus the per-touched-edge
+// re-learning that serving runs per ingest batch therefore costs
+// O(batch), not O(everything ever stored) as with Clone.
+//
+// The isolation contract is one-directional: mutations through the
+// clone never write to memory reachable from g (privatize-on-write
+// only ever reads shared state), so readers of g need no
+// synchronization; but g itself must stay unmutated while the clone is
+// alive, since the clone reads through to it. Chained generations
+// (clone of a clone) are fine — each generation re-marks everything
+// shared and reads through its parent.
+func (g *Graph) CloneCOW() *Graph {
+	cp := &Graph{
+		Road:      g.Road,
+		Regions:   g.Regions,
+		regionOf:  g.regionOf,
+		centroids: g.centroids,
+		topTypes:  g.topTypes,
+	}
+	cp.Edges = append([]*Edge(nil), g.Edges...)
+	cp.adj = append([][]int(nil), g.adj...)
+	cp.inner = append([][]InnerPath(nil), g.inner...)
+	cp.transferCenters = append([][]roadnet.VertexID(nil), g.transferCenters...)
+	// Hash caches index the shared path sets; the clone starts with none
+	// and rebuilds them lazily on the private copies it makes.
+	cp.innerHash = make([][]uint64, len(g.inner))
+	cp.index = g.index
+	cp.cow = &cowState{
+		edges: make([]bool, len(g.Edges)),
+		inner: make([]bool, len(g.inner)),
+		tcs:   make([]bool, len(g.transferCenters)),
+		adj:   make([]bool, len(g.adj)),
+	}
+	return cp
+}
+
+// mutEdge returns Edges[i] ready for mutation, privatizing it first on
+// a COW graph: the Edge struct and its PathInfo slices are copied (the
+// stored Path vertex slices stay shared — they are never edited in
+// place), and the hash caches are dropped for lazy rebuild.
+func (g *Graph) mutEdge(i int) *Edge {
+	if g.cow == nil || g.cow.edges[i] {
+		return g.Edges[i]
+	}
+	e := g.Edges[i]
+	ne := &Edge{
+		ID:      e.ID,
+		R1:      e.R1,
+		R2:      e.R2,
+		Kind:    e.Kind,
+		Pref:    e.Pref,
+		HasPref: e.HasPref,
+	}
+	if len(e.PathsFwd) > 0 {
+		ne.PathsFwd = append([]PathInfo(nil), e.PathsFwd...)
+	}
+	if len(e.PathsRev) > 0 {
+		ne.PathsRev = append([]PathInfo(nil), e.PathsRev...)
+	}
+	g.Edges[i] = ne
+	g.cow.edges[i] = true
+	return ne
+}
+
+// EdgeForUpdate returns the edge with ID id for mutation (preference
+// re-learning after AddPaths), privatized on a COW graph.
+func (g *Graph) EdgeForUpdate(id int) *Edge { return g.mutEdge(id) }
+
+// mutInner privatizes region r's inner-path list before mutation (both
+// counter bumps and appends write shared backing otherwise).
+func (g *Graph) mutInner(r int) {
+	if g.cow == nil || g.cow.inner[r] {
+		return
+	}
+	g.inner[r] = append([]InnerPath(nil), g.inner[r]...)
+	g.cow.inner[r] = true
+}
+
+// mutTC privatizes region r's transfer-center list before appending.
+func (g *Graph) mutTC(r int) {
+	if g.cow == nil || g.cow.tcs[r] {
+		return
+	}
+	g.transferCenters[r] = append([]roadnet.VertexID(nil), g.transferCenters[r]...)
+	g.cow.tcs[r] = true
+}
+
+// mutAdj privatizes region r's edge-ID adjacency before appending.
+func (g *Graph) mutAdj(r int) {
+	if g.cow == nil || g.cow.adj[r] {
+		return
+	}
+	g.adj[r] = append([]int(nil), g.adj[r]...)
+	g.cow.adj[r] = true
+}
+
+// mutIndex privatizes the edge index map before inserting.
+func (g *Graph) mutIndex() {
+	if g.cow == nil || g.cow.index {
+		return
+	}
+	idx := make(map[[2]int]int, len(g.index)+1)
+	for k, v := range g.index {
+		idx[k] = v
+	}
+	g.index = idx
+	g.cow.index = true
+}
+
 // Clone returns a deep copy of the region graph suitable for
 // copy-on-write updates: AddPaths (and the preference re-learning that
 // follows it) on the clone never mutates state reachable from the

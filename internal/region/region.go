@@ -174,6 +174,10 @@ type Graph struct {
 	// topTypes[r] is the region's top-k road-type set (Section V-B
 	// functionality feature).
 	topTypes [][]roadnet.RoadType
+
+	// cow, when non-nil, marks this graph as a CloneCOW clone sharing
+	// structure with its parent; see clone.go.
+	cow *cowState
 }
 
 // NumRegions returns the number of regions.
@@ -244,15 +248,24 @@ func pairKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
+// edge returns the (mutable) edge between r1 and r2, creating it with
+// the given kind if absent. On a COW clone the returned edge is always
+// privately owned — callers mutate it freely.
 func (g *Graph) edge(r1, r2 int, kind EdgeKind) *Edge {
 	key := pairKey(r1, r2)
 	if i, ok := g.index[key]; ok {
-		return g.Edges[i]
+		return g.mutEdge(i)
 	}
 	e := &Edge{ID: len(g.Edges), R1: key[0], R2: key[1], Kind: kind}
+	g.mutIndex()
 	g.index[key] = e.ID
 	g.Edges = append(g.Edges, e)
+	if g.cow != nil {
+		g.cow.edges = append(g.cow.edges, true) // freshly created, private
+	}
+	g.mutAdj(e.R1)
 	g.adj[e.R1] = append(g.adj[e.R1], e.ID)
+	g.mutAdj(e.R2)
 	g.adj[e.R2] = append(g.adj[e.R2], e.ID)
 	return e
 }
@@ -416,6 +429,7 @@ func segmentVisits(g *Graph, p roadnet.Path) []visit {
 }
 
 func (g *Graph) addInner(r int, p roadnet.Path, terminal bool) {
+	g.mutInner(r) // counter bumps and appends below must not hit shared backing
 	if g.innerHash == nil {
 		g.innerHash = make([][]uint64, len(g.inner))
 	}

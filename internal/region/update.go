@@ -122,13 +122,13 @@ func (g *Graph) AddPaths(paths []roadnet.Path, opt Options) UpdateStats {
 // uses presence plus bounded growth — sufficient for B-edge path
 // materialization, which only needs a small representative set.
 func (g *Graph) bumpTransferCenter(r int, v roadnet.VertexID, maxCenters int) {
-	tc := g.transferCenters[r]
-	for _, x := range tc {
+	for _, x := range g.transferCenters[r] {
 		if x == v {
 			return
 		}
 	}
-	if len(tc) < maxCenters {
-		g.transferCenters[r] = append(tc, v)
+	if len(g.transferCenters[r]) < maxCenters {
+		g.mutTC(r)
+		g.transferCenters[r] = append(g.transferCenters[r], v)
 	}
 }

@@ -1,74 +1,238 @@
 package route
 
 import (
+	"math"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/ch"
 	"repro/internal/roadnet"
 )
 
-// CHEngine is a PathEngine that answers scalar queries under one weight
-// (typically roadnet.TT, the fastest path) through a contraction
-// hierarchy — the speed-up technique the paper names as the way to
-// accelerate all compared algorithms consistently (Section VII-C) — and
-// falls back to plain Dijkstra for everything the hierarchy cannot
-// answer: other scalar weights, preference-constrained searches
-// (Algorithm 2 restricts edge relaxation per settled vertex, which
-// shortcut arcs cannot express) and custom cost functions.
+// SlaveMask is the comparable identity of a SlavePredicate: bit t is set
+// iff the predicate admits road type t. It keys customized metrics where
+// the predicate itself (a func value) cannot. Zero is the nil predicate;
+// a predicate admitting no road type also maps to zero, which is
+// correct — Algorithm 2 with an unsatisfiable slave restricts nothing,
+// because no vertex has a satisfying out-edge.
+type SlaveMask uint32
+
+// MaskOf probes slave over every road type to recover its mask. A
+// SlavePredicate is a pure function of the road type, so the mask
+// captures it exactly.
+func MaskOf(slave SlavePredicate) SlaveMask {
+	if slave == nil {
+		return 0
+	}
+	var m SlaveMask
+	for t := roadnet.RoadType(0); t < roadnet.NumRoadTypes; t++ {
+		if slave(t) {
+			m |= 1 << t
+		}
+	}
+	return m
+}
+
+// metricKey identifies one customized metric: a scalar weight (mask 0),
+// a preference-filtered weight (mask != 0), or a hash-interned custom
+// cost function (custom != 0, w/mask unused).
+type metricKey struct {
+	w      roadnet.Weight
+	mask   SlaveMask
+	custom uint64
+}
+
+// maxCustomMetrics bounds the hash-interned custom-cost metrics kept
+// customized at once; beyond it the oldest is dropped (FIFO) and would
+// be re-customized on demand. Scalar and preference metrics are never
+// evicted — their key space is tiny (weights × learned slave features).
+const maxCustomMetrics = 8
+
+// metricTable is the shared, metric-versioned side of a CCH engine: one
+// immutable ch.Metric per key, behind an atomically swapped map so
+// queries on any fork read lock-free while a writer customizes a new
+// metric. Customization replaces the map, never a Metric in place —
+// in-flight queries keep the version they loaded.
+type metricTable struct {
+	topo *ch.Topology
+
+	mu      sync.Mutex // serializes writers (customizations)
+	metrics atomic.Pointer[map[metricKey]*ch.Metric]
+	customs []metricKey // FIFO of custom-cost keys, for eviction
+
+	customized atomic.Uint64 // total customizations run (telemetry/tests)
+}
+
+func newMetricTable(topo *ch.Topology) *metricTable {
+	t := &metricTable{topo: topo}
+	m := make(map[metricKey]*ch.Metric)
+	t.metrics.Store(&m)
+	return t
+}
+
+// get returns the customized metric for k, or nil.
+func (t *metricTable) get(k metricKey) *ch.Metric {
+	return (*t.metrics.Load())[k]
+}
+
+// ensure returns the metric for k, customizing it under cost if absent.
+// It reports whether a customization ran.
+func (t *metricTable) ensure(k metricKey, cost func(roadnet.EdgeID) float64) (*ch.Metric, bool) {
+	if m := t.get(k); m != nil {
+		return m, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m := t.get(k); m != nil { // lost the race to another writer
+		return m, false
+	}
+	m := t.topo.Customize(cost)
+	old := *t.metrics.Load()
+	next := make(map[metricKey]*ch.Metric, len(old)+1)
+	for ok, ov := range old {
+		next[ok] = ov
+	}
+	next[k] = m
+	if k.custom != 0 {
+		t.customs = append(t.customs, k)
+		if len(t.customs) > maxCustomMetrics {
+			delete(next, t.customs[0])
+			t.customs = t.customs[1:]
+		}
+	}
+	t.metrics.Store(&next)
+	t.customized.Add(1)
+	return m, true
+}
+
+// CHEngine is a PathEngine over a customizable contraction hierarchy:
+// the road network is contracted once, metric-independently, and every
+// query family then rides the shared skeleton under its own customized
+// metric — scalar weights (Route/Fastest/Shortest), Algorithm 2
+// preference searches (RoutePref: the slave restriction depends only on
+// each vertex's static out-edge types, so it is exactly Dijkstra over a
+// statically filtered edge set, i.e. a fixed metric with forbidden edges
+// at +Inf), and custom cost functions (CustomRoute, hash-interned).
 //
-// The hierarchy is immutable and shared by every Fork; each fork owns
-// only query state (a bidirectional ch.Query context and a lazy
-// fallback Engine), both allocated on first use. One fork per
-// goroutine, as for every PathEngine.
+// Forks share the topology and the metric table; each fork owns one
+// ch.MetricQuery scratch (allocated on first use, reused across queries
+// AND across metrics via epoch reset) plus a small buffer for custom
+// cost hashing. Customizing a new metric happens at most once per key,
+// serialized on the table; queries never block on it unless they are
+// the first to need that key.
 type CHEngine struct {
-	g *roadnet.Graph
-	h *ch.Hierarchy
+	g    *roadnet.Graph
+	w    roadnet.Weight // base weight, pre-customized at build time
+	topo *ch.Topology
+	tab  *metricTable
 
-	q   *ch.Query // lazy per-fork bidirectional search context
-	dij *Engine   // lazy per-fork Dijkstra fallback
+	q       *ch.MetricQuery // lazy per-fork query scratch
+	costBuf []float64       // lazy per-fork custom-cost staging buffer
 }
 
-// NewCHEngine wraps a prebuilt hierarchy over g. The hierarchy's weight
-// decides which scalar queries are CH-accelerated.
-func NewCHEngine(g *roadnet.Graph, h *ch.Hierarchy) *CHEngine {
-	return &CHEngine{g: g, h: h}
+// NewCHEngine wraps a prebuilt topology over g, customizing the base
+// metric for w.
+func NewCHEngine(g *roadnet.Graph, topo *ch.Topology, w roadnet.Weight) *CHEngine {
+	c := &CHEngine{g: g, w: w, topo: topo, tab: newMetricTable(topo)}
+	c.Prepare(w, 0)
+	return c
 }
 
-// BuildCHEngine preprocesses a contraction hierarchy for weight w over g
-// and returns the engine. Build once, Fork per goroutine.
+// BuildCHEngine contracts the CCH topology for g and customizes the
+// base metric for w. Contraction is metric-independent, so cfg's
+// witness-search tuning is accepted for compatibility but unused.
+// Build once, Fork per goroutine.
 func BuildCHEngine(g *roadnet.Graph, w roadnet.Weight, cfg ch.Config) *CHEngine {
-	return NewCHEngine(g, ch.Build(g, w, cfg))
+	_ = cfg
+	return NewCHEngine(g, ch.BuildTopology(g), w)
 }
 
 // Graph implements PathEngine.
 func (c *CHEngine) Graph() *roadnet.Graph { return c.g }
 
-// Hierarchy returns the shared contraction hierarchy.
-func (c *CHEngine) Hierarchy() *ch.Hierarchy { return c.h }
+// Topology returns the shared contraction skeleton.
+func (c *CHEngine) Topology() *ch.Topology { return c.topo }
 
-// Fork implements PathEngine: the returned engine shares the hierarchy
-// and graph; query state is allocated on first use.
-func (c *CHEngine) Fork() PathEngine { return NewCHEngine(c.g, c.h) }
+// Shortcuts returns the number of pure-shortcut skeleton edges.
+func (c *CHEngine) Shortcuts() int { return c.topo.Shortcuts() }
 
-func (c *CHEngine) query() *ch.Query {
+// Weight returns the base weight customized at construction.
+func (c *CHEngine) Weight() roadnet.Weight { return c.w }
+
+// Customizations returns how many metric customizations the shared
+// table has run since construction (including the base metric).
+func (c *CHEngine) Customizations() uint64 { return c.tab.customized.Load() }
+
+// Fork implements PathEngine: the returned engine shares the topology
+// and the customized-metric table; query state is allocated on first
+// use.
+func (c *CHEngine) Fork() PathEngine {
+	return &CHEngine{g: c.g, w: c.w, topo: c.topo, tab: c.tab}
+}
+
+func (c *CHEngine) query() *ch.MetricQuery {
 	if c.q == nil {
-		c.q = ch.NewQuery(c.h)
+		c.q = ch.NewMetricQuery(c.topo)
 	}
 	return c.q
 }
 
-func (c *CHEngine) fallback() *Engine {
-	if c.dij == nil {
-		c.dij = NewEngine(c.g)
+// scalarCost is the customization cost function for weight w with the
+// slave mask applied: a masked-out edge costs +Inf exactly when its
+// tail vertex has some mask-satisfying out-edge (Algorithm 2's case
+// (i)); vertices with none relax everything (case (ii)).
+func (c *CHEngine) scalarCost(w roadnet.Weight, mask SlaveMask) func(roadnet.EdgeID) float64 {
+	if mask == 0 {
+		return func(e roadnet.EdgeID) float64 { return c.g.EdgeWeight(e, w) }
 	}
-	return c.dij
+	restrict := make([]bool, c.g.NumVertices())
+	for v := range restrict {
+		for _, e := range c.g.Out(roadnet.VertexID(v)) {
+			if mask&(1<<c.g.Edge(e).Type) != 0 {
+				restrict[v] = true
+				break
+			}
+		}
+	}
+	inf := math.Inf(1)
+	return func(e roadnet.EdgeID) float64 {
+		ed := c.g.Edge(e)
+		if restrict[ed.From] && mask&(1<<ed.Type) == 0 {
+			return inf
+		}
+		return c.g.EdgeWeight(e, w)
+	}
 }
 
-// Route implements PathEngine: the hierarchy answers its own weight
-// (with shortcut unpacking); other weights fall back to Dijkstra.
-func (c *CHEngine) Route(s, d roadnet.VertexID, w roadnet.Weight) (roadnet.Path, float64, bool) {
-	if w == c.h.Weight() {
-		return c.query().Route(s, d)
+// Prepare ensures the customized metric for (w, mask) exists, reporting
+// whether a customization ran now. The serving layer calls it on the
+// ingest path so queries never pay customization inline.
+func (c *CHEngine) Prepare(w roadnet.Weight, mask SlaveMask) bool {
+	k := metricKey{w: w, mask: mask}
+	if c.tab.get(k) != nil {
+		// Warm: skip building the cost function — for masked metrics
+		// scalarCost precomputes a per-vertex restrict table, far more
+		// than a prepare scan over many already-customized edges should
+		// pay.
+		return false
 	}
-	return c.fallback().Route(s, d, w)
+	_, ran := c.tab.ensure(k, c.scalarCost(w, mask))
+	return ran
+}
+
+func (c *CHEngine) metric(w roadnet.Weight, mask SlaveMask) *ch.Metric {
+	k := metricKey{w: w, mask: mask}
+	if m := c.tab.get(k); m != nil {
+		return m
+	}
+	m, _ := c.tab.ensure(k, c.scalarCost(w, mask))
+	return m
+}
+
+// Route implements PathEngine: every scalar weight is a customized
+// metric over the shared skeleton.
+func (c *CHEngine) Route(s, d roadnet.VertexID, w roadnet.Weight) (roadnet.Path, float64, bool) {
+	return c.query().Route(c.metric(w, 0), s, d)
 }
 
 // Fastest implements PathEngine.
@@ -81,17 +245,39 @@ func (c *CHEngine) Shortest(s, d roadnet.VertexID) (roadnet.Path, float64, bool)
 	return c.Route(s, d, roadnet.DI)
 }
 
-// RoutePref implements PathEngine. A nil slave under the hierarchy's
-// weight is a plain scalar query and takes the CH fast path; any actual
-// preference constraint runs the fallback's Algorithm 2.
+// RoutePref implements PathEngine. The slave predicate is probed into
+// its road-type mask and the query runs on the (w, mask) customized
+// metric — same costs as Algorithm 2's modified Dijkstra, settled on
+// the hierarchy.
 func (c *CHEngine) RoutePref(s, d roadnet.VertexID, w roadnet.Weight, slave SlavePredicate) (roadnet.Path, float64, bool) {
-	if slave == nil && w == c.h.Weight() {
-		return c.query().Route(s, d)
-	}
-	return c.fallback().RoutePref(s, d, w, slave)
+	return c.query().Route(c.metric(w, MaskOf(slave)), s, d)
 }
 
-// CustomRoute implements PathEngine via the Dijkstra fallback.
+// CustomRoute implements PathEngine on the hierarchy: the cost function
+// is evaluated once per edge into a staging buffer, hashed, and the
+// resulting metric interned in the shared table — repeated queries under
+// the same cost function (the common pattern: a learned weighting
+// queried many times) customize once and then pay only the buffer hash
+// plus a CCH query. At most maxCustomMetrics distinct custom metrics
+// stay resident.
 func (c *CHEngine) CustomRoute(s, d roadnet.VertexID, cost func(roadnet.EdgeID) float64) (roadnet.Path, float64, bool) {
-	return c.fallback().CustomRoute(s, d, cost)
+	if c.costBuf == nil {
+		c.costBuf = make([]float64, c.g.NumEdges())
+	}
+	h := uint64(14695981039346656037) // FNV-64a offset basis
+	for e := range c.costBuf {
+		v := cost(roadnet.EdgeID(e))
+		c.costBuf[e] = v
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	if h == 0 {
+		h = 1 // keep the custom-key marker nonzero
+	}
+	buf := c.costBuf
+	m, _ := c.tab.ensure(metricKey{custom: h}, func(e roadnet.EdgeID) float64 { return buf[e] })
+	return c.query().Route(m, s, d)
 }

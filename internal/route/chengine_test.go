@@ -66,9 +66,11 @@ func assertValidPath(t *testing.T, g *roadnet.Graph, p roadnet.Path, s, d roadne
 	}
 }
 
-// TestCHEngineForkSharesHierarchy checks Fork reuses the hierarchy and
-// answers identically, and that preference-constrained queries fall
-// back to Dijkstra results.
+// TestCHEngineForkSharesHierarchy checks Fork reuses the topology and
+// customized-metric table and answers identically, and that
+// preference-constrained queries on the hierarchy match Algorithm 2's
+// modified Dijkstra on cost (paths may tie-break differently; validity
+// is asserted instead of vertex-for-vertex equality).
 func TestCHEngineForkSharesHierarchy(t *testing.T) {
 	g := roadnet.Generate(roadnet.Tiny(3))
 	base := BuildCHEngine(g, roadnet.TT, ch.Config{})
@@ -76,8 +78,11 @@ func TestCHEngineForkSharesHierarchy(t *testing.T) {
 	if !ok {
 		t.Fatalf("Fork returned %T, want *CHEngine", base.Fork())
 	}
-	if fork.Hierarchy() != base.Hierarchy() {
-		t.Fatal("Fork did not share the hierarchy")
+	if fork.Topology() != base.Topology() {
+		t.Fatal("Fork did not share the topology")
+	}
+	if fork.tab != base.tab {
+		t.Fatal("Fork did not share the metric table")
 	}
 	dij := NewEngine(g)
 	rng := rand.New(rand.NewSource(9))
@@ -92,9 +97,37 @@ func TestCHEngineForkSharesHierarchy(t *testing.T) {
 			t.Fatalf("fork and base disagree on %d->%d: (%g,%v) vs (%g,%v)", s, d, fc, fok, bc, bok)
 		}
 		cp, cc, cok := fork.RoutePref(s, d, roadnet.DI, slave)
-		dp, dc, dok := dij.RoutePref(s, d, roadnet.DI, slave)
-		if cok != dok || (cok && (math.Abs(cc-dc) > 1e-9 || len(cp) != len(dp))) {
-			t.Fatalf("RoutePref fallback diverged on %d->%d", s, d)
+		_, dc, dok := dij.RoutePref(s, d, roadnet.DI, slave)
+		if cok != dok || (cok && math.Abs(cc-dc) > 1e-9) {
+			t.Fatalf("RoutePref diverged on %d->%d: CH (%g,%v) vs Dijkstra (%g,%v)", s, d, cc, cok, dc, dok)
 		}
+		if cok {
+			assertPrefPath(t, g, cp, s, d, roadnet.DI, cc)
+		}
+	}
+	// The slave metric must have been customized exactly once and then
+	// shared across the 40 queries and both forks.
+	if got := base.Customizations(); got != 2 { // base TT + the DI/slave metric
+		t.Fatalf("Customizations() = %d, want 2 (base + preference metric)", got)
+	}
+}
+
+// assertPrefPath checks p runs s..d over existing edges and that its
+// cost under w matches the reported cost.
+func assertPrefPath(t *testing.T, g *roadnet.Graph, p roadnet.Path, s, d roadnet.VertexID, w roadnet.Weight, cost float64) {
+	t.Helper()
+	if len(p) == 0 || p[0] != s || p[len(p)-1] != d {
+		t.Fatalf("path endpoints %v do not match query %d->%d", p, s, d)
+	}
+	var sum float64
+	for i := 1; i < len(p); i++ {
+		e := g.FindEdge(p[i-1], p[i])
+		if e == roadnet.NoEdge {
+			t.Fatalf("path step %d: no edge %d->%d in the road network", i, p[i-1], p[i])
+		}
+		sum += g.EdgeWeight(e, w)
+	}
+	if diff := math.Abs(sum - cost); diff > 1e-6*(1+math.Abs(cost)) {
+		t.Fatalf("path cost %g does not match reported cost %g", sum, cost)
 	}
 }

@@ -38,14 +38,15 @@ func TestForkIsLazy(t *testing.T) {
 	if !ok {
 		t.Fatalf("CH Fork returned %T", che.Fork())
 	}
-	if cf.q != nil || cf.dij != nil {
+	if cf.q != nil {
 		t.Fatal("CHEngine.Fork allocated query state eagerly")
 	}
+	before := che.Customizations()
 	cf.Fastest(0, roadnet.VertexID(g.NumVertices()-1))
 	if cf.q == nil {
 		t.Fatal("CH query state not allocated on first use")
 	}
-	if cf.dij != nil {
-		t.Fatal("scalar fastest query should not allocate the Dijkstra fallback")
+	if got := che.Customizations(); got != before {
+		t.Fatalf("scalar fastest query customized a new metric (%d -> %d); the base metric should be shared", before, got)
 	}
 }

@@ -121,6 +121,17 @@ type Stats struct {
 	// arrival to snapshot publication — how far behind live data the
 	// served router runs.
 	IngestLag time.Duration `json:"ingest_lag_ns"`
+	// CustomizeLag is the contraction-hierarchy re-customization time
+	// within the last ingest: how long PrepareMetrics took to refresh
+	// metric weights on the shared CH topology (zero on the Dijkstra
+	// backend or when no new metrics were needed).
+	CustomizeLag time.Duration `json:"customize_ns"`
+	// SwapLag is the swap overhead of the last ingest — everything the
+	// write path did beyond applying the batch itself: the copy-on-write
+	// clone, CH re-customization, and snapshot publication. This is the
+	// cost that the COW clone + shared-topology design collapses
+	// relative to a deep clone per batch.
+	SwapLag time.Duration `json:"swap_ns"`
 	// SinceLastSwap is the time since the last snapshot publication.
 	SinceLastSwap time.Duration `json:"since_last_swap_ns"`
 
@@ -151,6 +162,8 @@ func (e *Engine) Stats() Stats {
 		Ingests:              e.ingests.Load(),
 		IngestedTrajectories: e.ingestedTrajs.Load(),
 		IngestLag:            time.Duration(e.lastIngestNs.Load()),
+		CustomizeLag:         time.Duration(e.lastCustomizeNs.Load()),
+		SwapLag:              time.Duration(e.lastSwapNs.Load()),
 		SinceLastSwap:        now.Sub(time.Unix(0, e.lastSwapUnix.Load())),
 		Latency:              latencyStats(&e.met.all),
 		PerCategory:          make(map[string]LatencyStats, len(e.met.perCat)),

@@ -171,11 +171,13 @@ type Engine struct {
 	// everywhere it is used.
 	trc *obs.Tracer
 
-	start         time.Time
-	ingests       atomic.Uint64
-	ingestedTrajs atomic.Uint64
-	lastIngestNs  atomic.Int64 // wall time of the last copy-on-write ingest
-	lastSwapUnix  atomic.Int64 // unix nanos of the last snapshot swap
+	start           time.Time
+	ingests         atomic.Uint64
+	ingestedTrajs   atomic.Uint64
+	lastIngestNs    atomic.Int64 // wall time of the last copy-on-write ingest
+	lastSwapUnix    atomic.Int64 // unix nanos of the last snapshot swap
+	lastCustomizeNs atomic.Int64 // CH re-customization time within the last ingest
+	lastSwapNs      atomic.Int64 // clone+customize+publish (serving swap) time
 }
 
 // NewEngine wraps a built router for serving. The engine takes
@@ -337,10 +339,12 @@ func (e *Engine) compute(ctx context.Context, snap *snapshot, key cacheKey, s, d
 }
 
 // Ingest feeds new trajectories into the served router without
-// blocking queries: it deep-clones the current router, ingests into the
-// clone, and atomically publishes the clone as the next generation.
-// Concurrent Ingest calls serialize; queries keep reading the previous
-// generation until the swap.
+// blocking queries: it copy-on-write clones the current router
+// (sharing the region graph and the contraction-hierarchy topology
+// with the serving generation), ingests into the clone, re-customizes
+// the CH metrics the new preferences need, and atomically publishes
+// the clone as the next generation. Concurrent Ingest calls serialize;
+// queries keep reading the previous generation until the swap.
 func (e *Engine) Ingest(ts []*traj.Trajectory) core.IngestStats {
 	st, _ := e.ingest(context.Background(), ts, e.opt.Ingest)
 	return st
@@ -376,16 +380,22 @@ func (e *Engine) ingestDurable(ctx context.Context, ts []*traj.Trajectory, opt c
 	start := time.Now()
 	cur := e.snap.Load()
 	cl := sp.Start("snapshot.clone")
-	next := cur.base.DeepClone()
+	next := cur.base.IngestClone()
 	cl.End()
 	ig := sp.Start("ingest.apply")
 	st := next.Ingest(ts, opt)
 	ig.End()
+	cz := sp.Start("ch.customize")
+	czStart := time.Now()
+	next.PrepareMetricsTouched(st.TouchedEdges)
+	e.lastCustomizeNs.Store(int64(time.Since(czStart)))
+	cz.End()
 	sw := sp.Start("snapshot.swap")
 	e.snap.Store(newSnapshot(next, cur.gen+1))
 	e.lastSwapUnix.Store(time.Now().UnixNano())
 	sw.End()
 	e.lastIngestNs.Store(int64(time.Since(start)))
+	e.lastSwapNs.Store(int64(time.Since(start) - st.Elapsed))
 	e.ingests.Add(1)
 	e.ingestedTrajs.Add(uint64(len(ts)))
 	if e.dur != nil && durable && e.dur.shouldCheckpoint() {
