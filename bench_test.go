@@ -39,6 +39,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/traj"
 	"repro/internal/transfer"
+	"repro/internal/worldgen"
 )
 
 // benchIndex and benchMatcher build the spatial index and map matcher
@@ -51,18 +52,27 @@ func benchMatcher(w *exp.World, idx *spatial.Index) *mapmatch.Matcher {
 	return mapmatch.NewMatcher(w.Road, idx, mapmatch.Config{SigmaM: 15})
 }
 
+// benchSeed is the single seed every bench-world input derives from —
+// road network, trajectory simulation and the Zipf query mixes below.
+// One constant means one knob: a `-bench` run is reproducible, and
+// cmd/l2rbench audit diffs against the bench world are meaningful.
+const benchSeed = 5
+
 var (
 	worldOnce sync.Once
 	benchW    *exp.World
 )
 
-// benchWorld lazily builds the shared compact world.
+// benchWorld lazily builds the shared compact world through
+// internal/worldgen. The "bench" scale reproduces the historical
+// hand-rolled world (roadnet.Tiny + D2-like 600-trip feed) exactly,
+// so committed BENCH_route.json baselines stay comparable.
 func benchWorld(b testing.TB) *exp.World {
 	b.Helper()
 	worldOnce.Do(func() {
-		road := roadnet.Generate(roadnet.Tiny(5))
-		cfg := traj.D2Like(5, 600)
-		benchW = exp.NewCustom("bench", road, cfg, []float64{1, 2, 4, 10}, exp.Config{Seed: 5})
+		w := worldgen.Build(worldgen.MustScale(worldgen.ScaleBench, benchSeed))
+		benchW = exp.NewPrebuilt("bench", w.Road, w.Sim, w.All, w.Train, w.Test,
+			[]float64{1, 2, 4, 10}, exp.Config{Seed: benchSeed})
 	})
 	return benchW
 }
@@ -639,7 +649,7 @@ func BenchmarkServe(b *testing.B) {
 
 	// Pre-draw a deterministic Zipf-ranked index stream: rank 0 (the
 	// hottest OD pair) is geometrically more popular than rank 1, etc.
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(benchSeed))
 	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(qs)-1))
 	mix := make([]int, 8192)
 	for i := range mix {

@@ -121,6 +121,22 @@ func NewCustom(name string, road *roadnet.Graph, simCfg traj.SimConfig, bucketsK
 	}
 }
 
+// NewPrebuilt wraps an externally generated world — e.g. one from
+// internal/worldgen, whose Build already ran the simulator and the
+// train/test split — without re-simulating anything.
+func NewPrebuilt(name string, road *roadnet.Graph, sim *traj.Simulator, all, train, test []*traj.Trajectory, bucketsKm []float64, cfg Config) *World {
+	return &World{
+		Name: name, Road: road, All: all, Train: train, Test: test,
+		BucketsKm: bucketsKm,
+		Sim:       sim,
+		cfg:       cfg,
+		opts: core.Options{
+			SkipMapMatching: !cfg.UseMapMatching,
+			Workers:         cfg.Workers,
+		},
+	}
+}
+
 // Router builds (once) and returns the world's L2R router.
 func (w *World) Router() (*core.Router, error) {
 	w.once.Do(func() {

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// These are property tests for Quantile against ground truth: feed a
+// histogram a seeded sample, sort the same sample exactly, and require
+// every estimated quantile within the 25% bucket-geometry bound of the
+// true order statistic. The distributions are chosen to stress the
+// geometry from both ends — a heavy tail spreads mass across many
+// octaves, a constant stream collapses it into a single bucket.
+
+// exactQuantile returns the order statistic Quantile estimates: the
+// smallest sample with at least a q fraction of the mass at or below
+// it.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// checkQuantiles asserts the ≤25% relative error bound for a spread of
+// quantiles, including the tails the serve metrics report. The extra
+// microsecond of slack covers Observe's truncation to whole
+// microseconds of the exact sample.
+func checkQuantiles(t *testing.T, name string, samples []time.Duration) {
+	t.Helper()
+	var h Histogram
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := exactQuantile(sorted, q)
+		tol := time.Duration(float64(want)*0.25) + time.Microsecond
+		if diff := got - want; diff < -tol || diff > tol {
+			t.Errorf("%s: Quantile(%.3f) = %v, exact %v (error %v, tolerance %v)",
+				name, q, got, want, got-want, tol)
+		}
+	}
+}
+
+// TestQuantileHeavyTailedError drives the bound on lognormal latencies
+// spanning several orders of magnitude — the shape real route/ingest
+// mixes produce, where p50 sits in one octave and p999 many octaves up.
+func TestQuantileHeavyTailedError(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]time.Duration, 20000)
+		for i := range samples {
+			// exp(N(ln 200µs, 1.5)): microseconds to seconds, whole-µs
+			// values so truncation costs nothing.
+			us := math.Exp(rng.NormFloat64()*1.5 + math.Log(200))
+			if us < 1 {
+				us = 1
+			}
+			samples[i] = time.Duration(us) * time.Microsecond
+		}
+		checkQuantiles(t, "lognormal", samples)
+	}
+}
+
+// TestQuantileUniformAndBimodalError covers flat mass across buckets
+// and two separated modes (cache hits vs full computations).
+func TestQuantileUniformAndBimodalError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	uniform := make([]time.Duration, 10000)
+	for i := range uniform {
+		uniform[i] = time.Duration(1+rng.Intn(100000)) * time.Microsecond
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	bimodal := make([]time.Duration, 10000)
+	for i := range bimodal {
+		if rng.Intn(100) < 70 {
+			bimodal[i] = time.Duration(3+rng.Intn(5)) * time.Microsecond
+		} else {
+			bimodal[i] = time.Duration(40000+rng.Intn(20000)) * time.Microsecond
+		}
+	}
+	checkQuantiles(t, "bimodal", bimodal)
+}
+
+// TestQuantileSingleBucket collapses the histogram into one bucket: a
+// constant stream, where every quantile must land within that bucket's
+// 25% width of the constant.
+func TestQuantileSingleBucket(t *testing.T) {
+	for _, v := range []time.Duration{
+		time.Microsecond,
+		7 * time.Microsecond,
+		250 * time.Microsecond,
+		3 * time.Millisecond,
+		time.Second,
+	} {
+		samples := make([]time.Duration, 5000)
+		for i := range samples {
+			samples[i] = v
+		}
+		checkQuantiles(t, "constant "+v.String(), samples)
+	}
+}
+
+// TestQuantileMonotoneInQ is the ordering property: whatever the
+// distribution, a higher quantile never yields a smaller estimate.
+func TestQuantileMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		us := math.Exp(rng.NormFloat64()*2 + 5)
+		if us < 1 {
+			us = 1
+		}
+		h.Observe(time.Duration(us) * time.Microsecond)
+	}
+	prev := time.Duration(-1)
+	for q := 0.001; q < 1; q += 0.001 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%.3f) = %v < previous %v", q, got, prev)
+		}
+		prev = got
+	}
+}

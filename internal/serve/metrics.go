@@ -31,6 +31,7 @@ type LatencyStats struct {
 	P50     time.Duration `json:"p50_ns"`
 	P95     time.Duration `json:"p95_ns"`
 	P99     time.Duration `json:"p99_ns"`
+	P999    time.Duration `json:"p999_ns"`
 }
 
 func latencyStats(h *obs.Histogram) LatencyStats {
@@ -40,6 +41,7 @@ func latencyStats(h *obs.Histogram) LatencyStats {
 		P50:     h.Quantile(0.50),
 		P95:     h.Quantile(0.95),
 		P99:     h.Quantile(0.99),
+		P999:    h.Quantile(0.999),
 	}
 }
 

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate a fresh benchmark report against a committed baseline.
+
+Usage: bench_guard.py BASELINE.json FRESH.json [RATIO]
+
+Both files hold {bench: {metric: value}} maps — the format of the
+committed BENCH_route.json and BENCH_serve.json baselines. Every
+benchmark key in the baseline must exist in the fresh report, and every
+gated metric must stay within RATIO (default 2.0) of its committed
+value:
+
+  lower-is-better  ns_per_op, *_ns / *-ns, B/op / *bytes_per_op,
+                   allocs/op / *allocs_per_op  -> fail if fresh > RATIO * base
+  higher-is-better *qps*, *per_sec             -> fail if fresh < base / RATIO
+
+Everything else (counts, sizes, metadata) is informational. Two escape
+hatches keep the gate honest instead of flaky:
+
+  * noise floors: timing metrics under 1 microsecond, allocation
+    metrics under a few units — too small for a ratio to mean anything;
+  * single-sample metrics (customize_ns, swap_ns: the *last* ingest's
+    cost, not an aggregate) are reported but never gated.
+
+Exit status 1 on any regression, 2 on malformed input.
+"""
+
+import json
+import sys
+
+# Last-sample measurements: one ingest's cost, not a distribution.
+INFORMATIONAL = {"customize_ns", "swap_ns"}
+
+# (metric, floor): baselines below the floor are too small to gate.
+NS_FLOOR = 1000.0      # 1 us: sub-microsecond timings are scheduler noise
+BYTES_FLOOR = 64.0
+ALLOCS_FLOOR = 2.0
+
+
+def classify(key):
+    """Return (direction, floor) for a metric key, or (None, 0)."""
+    if key in INFORMATIONAL:
+        return None, 0.0
+    if key == "ns_per_op" or key.endswith("_ns") or key.endswith("-ns"):
+        return "lower", NS_FLOOR
+    if key == "B/op" or key.endswith("bytes_per_op"):
+        return "lower", BYTES_FLOOR
+    if key == "allocs/op" or key.endswith("allocs_per_op"):
+        return "lower", ALLOCS_FLOOR
+    if "qps" in key or key.endswith("per_sec"):
+        return "higher", 0.0
+    return None, 0.0
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+    ratio = float(sys.argv[3]) if len(sys.argv) == 4 else 2.0
+
+    failures = []
+    gated = 0
+    for bench in sorted(base):
+        bmetrics = base[bench]
+        fmetrics = fresh.get(bench)
+        if fmetrics is None:
+            failures.append("%s: missing from fresh report" % bench)
+            continue
+        for key in sorted(bmetrics):
+            bv = bmetrics[key]
+            direction, floor = classify(key)
+            if direction is None or isinstance(bv, bool) or not isinstance(bv, (int, float)):
+                continue
+            fv = fmetrics.get(key)
+            if not isinstance(fv, (int, float)) or isinstance(fv, bool):
+                failures.append("%s.%s: missing from fresh report" % (bench, key))
+                continue
+            if bv < floor:
+                print("skip %s.%s: baseline %g under noise floor %g" % (bench, key, bv, floor))
+                continue
+            gated += 1
+            if direction == "lower" and fv > ratio * bv:
+                failures.append("%s.%s: %g exceeds %gx committed baseline %g"
+                                % (bench, key, fv, ratio, bv))
+            elif direction == "higher" and fv < bv / ratio:
+                failures.append("%s.%s: %g is below 1/%g of committed baseline %g"
+                                % (bench, key, fv, ratio, bv))
+            else:
+                print("ok   %s.%s: %g (baseline %g)" % (bench, key, fv, bv))
+    if gated == 0:
+        failures.append("no gated metrics found: baseline/fresh format mismatch?")
+    if failures:
+        print("\nREGRESSION vs committed baseline (%s):" % sys.argv[1])
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("\nall %d gated metrics within %gx of baseline" % (gated, ratio))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
