@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/quality"
 	"repro/internal/serve"
 	"repro/internal/worldgen"
 )
@@ -44,6 +45,11 @@ func runBench(h *harness) error {
 	if err != nil {
 		return err
 	}
+	// Shadow-score every ingested trajectory (rate 1, unthrottled, deep
+	// queue) so the committed baseline carries model-quality accuracy
+	// keys the bench guard can gate alongside the latency numbers.
+	qobs := quality.Attach(e, quality.Config{SampleRate: 1, Queue: 1 << 14, MaxPerSec: -1, Ring: 8})
+	defer qobs.Close()
 
 	newExec := h.newInprocExec(e)
 	mode := "in-process"
@@ -67,6 +73,7 @@ func runBench(h *harness) error {
 	rs := newReplayStats()
 	replay(h.schedule, workers, cfg.qps, rs, newExec)
 	runtime.ReadMemStats(&after)
+	qobs.Drain()
 
 	st := e.Stats()
 	log.Printf("replayed in %v: %.0f req/s, %d errors, cache hit rate %.2f, %d ingest swaps (gen %d)",
@@ -159,6 +166,16 @@ func buildReport(h *harness, rs *replayStats, st serve.Stats, before, after *run
 		eng["bytes_per_op"] = float64(after.TotalAlloc-before.TotalAlloc) / float64(total)
 	}
 	report["l2rbench_engine"] = eng
+	if q := st.Quality; q != nil && q.Total.Scores > 0 {
+		report["l2rbench_quality"] = map[string]any{
+			"shadow_scores":       float64(q.Total.Scores),
+			"shadow_dropped":      float64(q.Dropped),
+			"shadow_eq1_acc_pct":  q.Total.Eq1Pct,
+			"shadow_eq4_acc_pct":  q.Total.Eq4Pct,
+			"drift_tv":            q.DriftTV,
+			"region_coverage_pct": 100 * q.RegionCoverage,
+		}
+	}
 	return report
 }
 

@@ -8,10 +8,14 @@
 // Where bench_test.go measures isolated operations, l2rbench measures
 // the serving system: cache and coalescing under skewed OD traffic,
 // copy-on-write snapshot swaps racing queries, WAL appends on the
-// ingest path, and crash-recovery replay speed. The result is a JSON
-// report in the committed-baseline format (BENCH_serve.json) that CI
-// regenerates every run and gates against the committed copy with
-// scripts/bench_guard.py.
+// ingest path, and crash-recovery replay speed. A quality observer
+// shadow-scores every ingested trajectory (sample rate 1, unthrottled)
+// so the report also carries model-quality accuracy: the
+// l2rbench_quality section's shadow_eq1_acc_pct / shadow_eq4_acc_pct
+// gate how close served routes stay to the driven evidence. The result
+// is a JSON report in the committed-baseline format (BENCH_serve.json)
+// that CI regenerates every run and gates against the committed copy
+// with scripts/bench_guard.py.
 //
 // Usage:
 //

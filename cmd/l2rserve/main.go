@@ -22,8 +22,10 @@
 //	GET  /healthz
 //	GET  /metrics                Prometheus text exposition
 //	GET  /debug/trace?n=50       recent request traces (?slow=1 for the
-//	                             slow-query log)
+//	                             slow-query log, ?min_ms=5 to filter)
 //	GET  /debug/snapshot         non-blocking engine internals
+//	GET  /debug/quality          shadow-score quality, drift gauges and
+//	                             worst-route exemplars
 //
 // With -stream (the default) a streaming ingestion pipeline is
 // attached: POST /stream accepts raw per-vehicle NDJSON GPS points
@@ -58,7 +60,13 @@
 // in the slow-query log. One structured access-log line per request
 // goes to stderr (-log-format text|json). -debug-addr starts a
 // second listener with net/http/pprof, expvar and the telemetry
-// endpoints — keep it on localhost or a private interface. See the
+// endpoints — keep it on localhost or a private interface. With
+// -quality-sample-rate > 0 (default 0.1) a model-quality observer
+// shadow-scores that fraction of ingested trajectories off the hot
+// path: the served route is recomputed for each sampled trip's OD and
+// scored against the driven path (paper Eq. 1 / Eq. 4), feeding
+// l2r_quality_* and l2r_drift_* gauges on /metrics and the
+// worst-route exemplar ring on GET /debug/quality. See the
 // Monitoring section of OPERATIONS.md.
 //
 // The server drains in-flight requests on SIGINT/SIGTERM; a durable
@@ -113,6 +121,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "separate diagnostics listener (pprof, expvar, /metrics), e.g. localhost:6060; empty disables")
 	traceOn := flag.Bool("trace", true, "record per-request span traces (GET /debug/trace)")
 	traceRing := flag.Int("trace-ring", 256, "completed traces kept for /debug/trace")
+	qualityRate := flag.Float64("quality-sample-rate", 0.1, "shadow-score this fraction of ingested trajectories off the hot path (GET /debug/quality); 0 disables")
+	qualityRing := flag.Int("quality-ring", 16, "worst-scoring OD exemplars kept for /debug/quality")
 	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "requests at least this slow also land in the slow-query log (negative disables)")
 	logFormat := flag.String("log-format", "text", "access log format: text or json")
 	flag.Parse()
@@ -172,7 +182,7 @@ func main() {
 		if *replayTrips > 0 || *replayFile != "" {
 			log.Fatal("replay modes are single-tenant; in fleet mode feed POST /t/{tenant}/stream instead")
 		}
-		serveFleet(*addr, *debugAddr, *artifactDir, *reload, *drain, opt, *streamOn, streamCfg, logger)
+		serveFleet(*addr, *debugAddr, *artifactDir, *reload, *drain, opt, *streamOn, streamCfg, *qualityRate, *qualityRing, logger)
 		return
 	}
 
@@ -202,6 +212,12 @@ func main() {
 			st.CHMetrics, st.CHCustomizeTime.Round(time.Microsecond))
 	} else {
 		log.Printf("path engine: dijkstra")
+	}
+	if *qualityRate > 0 {
+		qo := l2r.AttachQuality(engine, l2r.QualityConfig{SampleRate: *qualityRate, Ring: *qualityRing})
+		defer qo.Close()
+		log.Printf("quality observer attached: GET /debug/quality (sample rate %.2f, %d exemplars)",
+			*qualityRate, *qualityRing)
 	}
 	var background func(context.Context)
 	if *streamOn {
@@ -298,12 +314,17 @@ func replayPoints(replayTrips int, replayFile, artifact, network string, seed in
 // tenant, hot-reloaded on change while the fleet serves. With
 // streaming on, every tenant — including ones hot-loaded later — gets
 // its own pipeline behind POST /t/{tenant}/stream.
-func serveFleet(addr, debugAddr, dir string, reload, drain time.Duration, opt l2r.ServeOptions, streamOn bool, streamCfg l2r.StreamConfig, logger *slog.Logger) {
+func serveFleet(addr, debugAddr, dir string, reload, drain time.Duration, opt l2r.ServeOptions, streamOn bool, streamCfg l2r.StreamConfig, qualityRate float64, qualityRing int, logger *slog.Logger) {
 	fleet := l2r.NewFleet(opt)
 	if streamOn {
 		streams := l2r.AttachFleetStreams(fleet, streamCfg)
 		defer streams.Close()
 		log.Printf("streaming pipelines attached: POST /t/{tenant}/stream")
+	}
+	if qualityRate > 0 {
+		quality := l2r.AttachFleetQuality(fleet, l2r.QualityConfig{SampleRate: qualityRate, Ring: qualityRing})
+		defer quality.Close()
+		log.Printf("quality observers attached: GET /t/{tenant}/debug/quality (sample rate %.2f)", qualityRate)
 	}
 	watcher := l2r.NewFleetWatcher(fleet, dir)
 	watcher.Logf = log.Printf

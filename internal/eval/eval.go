@@ -107,6 +107,21 @@ type QueryScore struct {
 	Nanos    int64
 }
 
+// ScorePath scores a candidate path against a ground-truth (driven)
+// path with the paper's two similarity metrics: Eq. 1 (shared edge
+// length over ground-truth length) and Eq. 4 (shared over union). It
+// is the single scoring entry point — offline evaluation below and the
+// online shadow scorer (internal/quality) both call it, so the two
+// surfaces can never disagree on what "accuracy" means.
+func ScorePath(g *roadnet.Graph, gt, cand roadnet.Path) (eq1, eq4 float64) {
+	return pref.SimEq1(g, gt, cand), pref.SimEq4(g, gt, cand)
+}
+
+// DistanceBucket maps a trip length to its report bucket: boundsKm are
+// ascending upper bounds, and lengths beyond the last bound land in
+// the last bucket.
+func DistanceBucket(km float64, boundsKm []float64) int { return bucketOf(km, boundsKm) }
+
 // Evaluate runs every algorithm over every query. Buckets are ascending
 // upper bounds in km; queries beyond the last bound land in the last
 // bucket.
@@ -129,8 +144,7 @@ func Evaluate(g *roadnet.Graph, queries []Query, algs []Algorithm, bucketsKm []f
 			start := time.Now()
 			path := a.Route(q.Query)
 			nanos := time.Since(start).Nanoseconds()
-			s1 := pref.SimEq1(g, q.GT, path)
-			s4 := pref.SimEq4(g, q.GT, path)
+			s1, s4 := ScorePath(g, q.GT, path)
 			for _, cell := range []*Cell{
 				&run.ByDist[a.Name()][b],
 				&run.ByCat[a.Name()][q.Cat],

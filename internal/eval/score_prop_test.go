@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// gridWorld builds an nx×ny unit grid; vid maps grid coordinates to the
+// builder's row-major vertex IDs.
+func gridWorld(nx, ny int) (*roadnet.Graph, func(i, j int) roadnet.VertexID) {
+	g := roadnet.GenerateGrid(nx, ny, 100, roadnet.Secondary)
+	return g, func(i, j int) roadnet.VertexID { return roadnet.VertexID(i*ny + j) }
+}
+
+// rowPath walks row j from column i0 to column i1.
+func rowPath(vid func(i, j int) roadnet.VertexID, j, i0, i1 int) roadnet.Path {
+	var p roadnet.Path
+	for i := i0; i <= i1; i++ {
+		p = append(p, vid(i, j))
+	}
+	return p
+}
+
+func TestScorePathIdentical(t *testing.T) {
+	g, vid := gridWorld(6, 6)
+	p := rowPath(vid, 0, 0, 5)
+	eq1, eq4 := ScorePath(g, p, append(roadnet.Path(nil), p...))
+	if eq1 != 1 || eq4 != 1 {
+		t.Fatalf("identical paths scored (%v, %v), want (1, 1)", eq1, eq4)
+	}
+}
+
+func TestScorePathEdgeDisjoint(t *testing.T) {
+	g, vid := gridWorld(6, 6)
+	gt := rowPath(vid, 0, 0, 5)   // along row 0
+	cand := rowPath(vid, 1, 0, 5) // along row 1: no shared edges
+	eq1, eq4 := ScorePath(g, gt, cand)
+	if eq1 != 0 || eq4 != 0 {
+		t.Fatalf("disjoint paths scored (%v, %v), want (0, 0)", eq1, eq4)
+	}
+}
+
+// Growing the shared prefix of the candidate must strictly raise both
+// similarity scores: the candidate follows the driven row for k edges,
+// detours one row up, and rejoins at the end.
+func TestScorePathMonotoneSharedPrefix(t *testing.T) {
+	const n = 6
+	g, vid := gridWorld(n, n)
+	gt := rowPath(vid, 0, 0, n-1)
+
+	detour := func(k int) roadnet.Path {
+		p := rowPath(vid, 0, 0, k)                  // shared prefix: k edges
+		p = append(p, vid(k, 1))                    // up to row 1
+		p = append(p, rowPath(vid, 1, k+1, n-1)...) // along row 1
+		p = append(p, vid(n-1, 0))                  // back down to the end
+		return p
+	}
+
+	prevEq1, prevEq4 := -1.0, -1.0
+	for k := 0; k < n-1; k++ {
+		cand := detour(k)
+		if !cand.Valid(g) {
+			t.Fatalf("detour(%d) is not a valid path: %v", k, cand)
+		}
+		eq1, eq4 := ScorePath(g, gt, cand)
+		if eq1 <= prevEq1 || eq4 <= prevEq4 {
+			t.Fatalf("k=%d: scores (%v, %v) not strictly above previous (%v, %v)",
+				k, eq1, eq4, prevEq1, prevEq4)
+		}
+		prevEq1, prevEq4 = eq1, eq4
+	}
+}

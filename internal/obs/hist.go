@@ -120,6 +120,27 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(hi * float64(time.Microsecond))
 }
 
+// Merge folds other's observations into h bucket-by-bucket. Both
+// histograms may be concurrently observed while merging: each counter
+// is read once, so the merged view is as consistent as any concurrent
+// read of a live histogram (counts may trail the buckets by in-flight
+// observations, never the reverse by more than one scrape). The fleet
+// stats path uses Merge to compute true cross-tenant quantiles from
+// per-tenant histograms — quantiles, unlike counters, cannot be summed
+// after the fact.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if c := other.buckets[i].Load(); c > 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sumNs.Add(other.sumNs.Load())
+}
+
 // Cumulative returns the cumulative bucket counts (Prometheus
 // `_bucket` semantics: cum[i] = observations ≤ bucket i's upper bound)
 // along with the index range [first, last] of non-empty buckets; first

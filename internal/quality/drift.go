@@ -1,0 +1,148 @@
+package quality
+
+import (
+	"repro/internal/core"
+	"repro/internal/pref"
+	"repro/internal/region"
+)
+
+// prefKey is one outcome of the preference distribution: a learned
+// ⟨master, slave⟩ preference, or the "no preference" mass of T-edges
+// whose evidence did not clear the confidence bar.
+type prefKey struct {
+	has bool
+	p   pref.Preference
+}
+
+// prefDist is an evidence-weighted distribution over preference
+// outcomes: each T-edge contributes its stored path count (the number
+// of trajectory fragments backing it) to its preference's mass,
+// normalized to sum to 1.
+type prefDist map[prefKey]float64
+
+// baselineState pins the distribution drift is measured against and
+// the generation it was captured at.
+type baselineState struct {
+	gen  uint64
+	dist prefDist
+}
+
+// driftState caches one generation's derived gauges so scrape-frequency
+// readers do not rescan an unchanged snapshot's region graph.
+type driftState struct {
+	gen          uint64
+	baselineGen  uint64
+	tv           float64
+	coverage     float64
+	regions      int
+	withEvidence int
+}
+
+// rebase captures a fresh drift baseline from r (at attach, and again
+// whenever Publish swaps in an externally built router) and drops the
+// derived cache.
+func (o *Observer) rebase(r *core.Router, gen uint64) {
+	o.baseline.Store(&baselineState{gen: gen, dist: prefDistOf(r.RegionGraph())})
+	o.derived.Store(nil)
+}
+
+// drift returns the derived gauges for the current generation,
+// computing them at most once per generation.
+func (o *Observer) drift() driftState {
+	gen := o.eng.Generation()
+	base := o.baseline.Load()
+	if d := o.derived.Load(); d != nil && d.gen == gen && d.baselineGen == base.gen {
+		return *d
+	}
+	rg := o.eng.Snapshot().RegionGraph()
+	d := &driftState{
+		gen:         gen,
+		baselineGen: base.gen,
+		tv:          tvDistance(base.dist, prefDistOf(rg)),
+		regions:     rg.NumRegions(),
+	}
+	d.withEvidence = regionsWithEvidence(rg)
+	if d.regions > 0 {
+		d.coverage = float64(d.withEvidence) / float64(d.regions)
+	}
+	o.derived.Store(d)
+	return *d
+}
+
+// prefDistOf builds the evidence-weighted preference distribution of a
+// region graph's T-edges. Published snapshots are immutable (ingest
+// mutates a copy-on-write clone and swaps), so reading the live
+// snapshot's graph here is safe.
+func prefDistOf(rg *region.Graph) prefDist {
+	dist := make(prefDist)
+	total := 0.0
+	for _, e := range rg.Edges {
+		if e.Kind != region.TEdge {
+			continue
+		}
+		w := 0.0
+		for _, pi := range e.PathsFwd {
+			w += float64(pi.Count)
+		}
+		for _, pi := range e.PathsRev {
+			w += float64(pi.Count)
+		}
+		if w == 0 {
+			w = 1
+		}
+		dist[prefKey{has: e.HasPref, p: prefOf(e)}] += w
+		total += w
+	}
+	if total > 0 {
+		for k := range dist {
+			dist[k] /= total
+		}
+	}
+	return dist
+}
+
+// prefOf returns the edge's preference, zeroed when unset so unlabeled
+// edges share one key.
+func prefOf(e *region.Edge) pref.Preference {
+	if !e.HasPref {
+		return pref.Preference{}
+	}
+	return e.Pref
+}
+
+// tvDistance is the total-variation distance between two distributions:
+// half the L1 distance over the union of outcomes, in [0, 1].
+func tvDistance(a, b prefDist) float64 {
+	sum := 0.0
+	for k, av := range a {
+		d := av - b[k]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			sum += bv
+		}
+	}
+	return sum / 2
+}
+
+// regionsWithEvidence counts regions incident to at least one T-edge.
+func regionsWithEvidence(rg *region.Graph) int {
+	seen := make([]bool, rg.NumRegions())
+	n := 0
+	for _, e := range rg.Edges {
+		if e.Kind != region.TEdge {
+			continue
+		}
+		for _, r := range [2]int{e.R1, e.R2} {
+			if r >= 0 && r < len(seen) && !seen[r] {
+				seen[r] = true
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+package quality
+
+import (
+	"sync"
+
+	"repro/internal/serve"
+)
+
+// FleetObservers tracks the per-tenant observers AttachFleet creates.
+type FleetObservers struct {
+	cfg Config
+	mu  sync.Mutex
+	obs map[string]*Observer
+}
+
+// AttachFleet attaches a model-quality observer to every current and
+// future tenant of f, chaining any Fleet.OnCreate hook already
+// installed (so it composes with stream.AttachFleet in either order).
+// Call Close on the result at shutdown.
+func AttachFleet(f *serve.Fleet, cfg Config) *FleetObservers {
+	fo := &FleetObservers{cfg: cfg, obs: make(map[string]*Observer)}
+	prev := f.OnCreate
+	f.OnCreate = func(name string, e *serve.Engine) {
+		if prev != nil {
+			prev(name, e)
+		}
+		fo.attach(name, e)
+	}
+	for _, name := range f.Names() {
+		if e, ok := f.Get(name); ok {
+			fo.attach(name, e)
+		}
+	}
+	return fo
+}
+
+func (fo *FleetObservers) attach(name string, e *serve.Engine) {
+	o := Attach(e, fo.cfg)
+	fo.mu.Lock()
+	old := fo.obs[name]
+	fo.obs[name] = o
+	fo.mu.Unlock()
+	if old != nil {
+		old.Close() // tenant re-created under the same name
+	}
+}
+
+// Get returns the named tenant's observer.
+func (fo *FleetObservers) Get(name string) (*Observer, bool) {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	o, ok := fo.obs[name]
+	return o, ok
+}
+
+// Close stops every attached observer.
+func (fo *FleetObservers) Close() {
+	fo.mu.Lock()
+	all := make([]*Observer, 0, len(fo.obs))
+	for _, o := range fo.obs {
+		all = append(all, o)
+	}
+	fo.obs = make(map[string]*Observer)
+	fo.mu.Unlock()
+	for _, o := range all {
+		o.Close()
+	}
+}

@@ -1,0 +1,24 @@
+package quality
+
+import (
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// handler serves GET /debug/quality: the observer's full stats plus
+// the worst-scoring OD exemplars, worst first. The serve layer mounts
+// it on the engine mux (and under /t/{tenant}/ for fleets); like every
+// /debug/ path it bypasses tracing and the readiness gate.
+func (o *Observer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			serve.WriteError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, map[string]any{
+			"quality":   o.QualityStats(),
+			"exemplars": o.Exemplars(),
+		})
+	})
+}

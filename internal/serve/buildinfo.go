@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// build identifies the running binary: the Go toolchain that compiled
+// it and, when the module was built from a VCS checkout, the revision
+// (with a "+dirty" suffix for modified working trees). Exposed as the
+// l2r_build_info gauge and in /debug/snapshot so an operator can tell
+// which build a scrape or a bug report came from.
+type build struct {
+	goVersion string
+	revision  string
+}
+
+// buildID reads the binary's build information once; ReadBuildInfo
+// walks the embedded module data, which is not free at scrape
+// frequency.
+var buildID = sync.OnceValue(func() build {
+	b := build{goVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && b.revision != "" {
+		b.revision += "+dirty"
+	}
+	return b
+})
+
+// writeBuildInfoProm emits the conventional build-info gauge: constant
+// value 1, identity in the labels.
+func writeBuildInfoProm(pw *obs.PromWriter) {
+	b := buildID()
+	pw.Gauge("l2r_build_info", "Build identity of the running binary (constant 1; identity in labels).", 1,
+		obs.Label{Name: "go_version", Value: b.goVersion},
+		obs.Label{Name: "vcs_revision", Value: b.revision})
+}

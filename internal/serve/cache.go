@@ -155,6 +155,24 @@ func (c *routeCache) put(key cacheKey, gen uint64, res []core.RouteResult) {
 	}
 }
 
+// generationLag returns cur minus the oldest generation among live
+// entries (0 when empty or all current). Stale entries die lazily on
+// lookup, so a non-zero lag is normal right after a swap; a lag that
+// stays large means cold keys are pinning pre-swap answers' slots.
+func (c *routeCache) generationLag(cur uint64) uint64 {
+	var lag uint64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, e := range s.items {
+			if e.gen < cur && cur-e.gen > lag {
+				lag = cur - e.gen
+			}
+		}
+		s.mu.Unlock()
+	}
+	return lag
+}
+
 // len returns the live entry count across shards.
 func (c *routeCache) len() int {
 	n := 0

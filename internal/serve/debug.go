@@ -55,7 +55,9 @@ func telemetryPath(p string) bool {
 
 // traceHandler serves GET /debug/trace: the n most recent completed
 // traces (?n=, default 50), or the slow-query log with ?slow=1, plus
-// the tracer's own counters.
+// the tracer's own counters. ?min_ms= keeps only traces at least that
+// many milliseconds long — the way to query the ring for mid-latency
+// requests that never crossed the slow-query threshold.
 func traceHandler(t *obs.Tracer) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -71,11 +73,36 @@ func traceHandler(t *obs.Tracer) http.HandlerFunc {
 			}
 			n = v
 		}
+		minUS := 0.0
+		if raw := r.URL.Query().Get("min_ms"); raw != "" {
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, "parameter %q must be a non-negative number", "min_ms")
+				return
+			}
+			minUS = v * 1000
+		}
+		fetch := n
+		if minUS > 0 {
+			fetch = 0 // the whole ring: the filter decides what survives
+		}
 		var traces []*obs.Trace
 		if r.URL.Query().Get("slow") != "" {
-			traces = t.Slow(n)
+			traces = t.Slow(fetch)
 		} else {
-			traces = t.Recent(n)
+			traces = t.Recent(fetch)
+		}
+		if minUS > 0 {
+			kept := traces[:0]
+			for _, tr := range traces {
+				if tr.DurationUS >= minUS {
+					kept = append(kept, tr)
+				}
+			}
+			traces = kept
+			if len(traces) > n {
+				traces = traces[:n]
+			}
 		}
 		if traces == nil {
 			traces = []*obs.Trace{}
@@ -109,7 +136,15 @@ type DebugSnapshot struct {
 	// Stream queue occupancy, when a streaming pipeline is attached.
 	StreamQueueDepth    int `json:"stream_queue_depth,omitempty"`
 	StreamQueueCapacity int `json:"stream_queue_capacity,omitempty"`
-	Goroutines          int `json:"goroutines"`
+	// Quality scoring queue occupancy, when a model-quality observer is
+	// attached.
+	QualityQueueDepth    int `json:"quality_queue_depth,omitempty"`
+	QualityQueueCapacity int `json:"quality_queue_capacity,omitempty"`
+	Goroutines           int `json:"goroutines"`
+	// GoVersion and VCSRevision identify the binary that produced this
+	// snapshot (see l2r_build_info in /metrics).
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
 }
 
 // DebugSnapshotNow collects the engine's DebugSnapshot without
@@ -136,6 +171,14 @@ func (e *Engine) DebugSnapshotNow() DebugSnapshot {
 		ds.StreamQueueDepth = ss.QueueDepth
 		ds.StreamQueueCapacity = ss.QueueCapacity
 	}
+	if at := e.qual.Load(); at != nil && at.source != nil {
+		qs := at.source.QualityStats()
+		ds.QualityQueueDepth = qs.QueueDepth
+		ds.QualityQueueCapacity = qs.QueueCapacity
+	}
+	b := buildID()
+	ds.GoVersion = b.goVersion
+	ds.VCSRevision = b.revision
 	return ds
 }
 

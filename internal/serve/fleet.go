@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Fleet is a multi-tenant registry of serving engines: one named
@@ -252,6 +253,11 @@ type FleetStats struct {
 	CoalescedQueries  uint64  `json:"coalesced_queries"`
 	Ingests           uint64  `json:"ingests"`
 
+	// Latency summarizes the latency distribution merged across every
+	// tenant's histogram — true fleet quantiles, not an average of
+	// per-tenant quantiles (which would be meaningless).
+	Latency LatencyStats `json:"latency"`
+
 	// WALRecords, WALAppendFailures and Checkpoints sum the durability
 	// counters across durable tenants (zero for non-durable fleets);
 	// per-tenant recovery facts live in PerTenant[...].Durability.
@@ -271,9 +277,11 @@ func (f *Fleet) Stats() FleetStats {
 		Tenants:   len(engines),
 		PerTenant: make(map[string]Stats, len(engines)),
 	}
+	merged := &obs.Histogram{}
 	for name, e := range engines {
 		st := e.Stats()
 		fs.PerTenant[name] = st
+		merged.Merge(&e.met.all)
 		fs.Queries += st.Queries
 		fs.CacheHits += st.CacheHits
 		fs.CacheMisses += st.CacheMisses
@@ -286,6 +294,7 @@ func (f *Fleet) Stats() FleetStats {
 			fs.Checkpoints += st.Durability.Checkpoints
 		}
 	}
+	fs.Latency = latencyStats(merged)
 	if fs.Uptime > 0 {
 		fs.QPS = float64(fs.Queries) / fs.Uptime.Seconds()
 	}

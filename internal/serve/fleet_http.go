@@ -39,6 +39,8 @@ type TenantInfo struct {
 //	GET  /metrics          Prometheus exposition, every tenant labeled
 //	GET  /debug/trace      recent / slow request traces (shared tracer)
 //	GET  /debug/snapshot   per-tenant non-blocking internals snapshot
+//	GET  /debug/quality    per-tenant model-quality stats (tenant detail
+//	                       incl. exemplars at /t/{tenant}/debug/quality)
 //
 // Requests for tenants not in the registry return 404. With a tracer
 // configured (Options.Tracer — shared by every tenant engine), the
@@ -53,6 +55,7 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("/metrics", f.handleMetrics)
 	mux.HandleFunc("/debug/trace", traceHandler(f.opt.Tracer))
 	mux.HandleFunc("/debug/snapshot", f.handleDebugSnapshot)
+	mux.HandleFunc("/debug/quality", f.handleQuality)
 	return withRequestTelemetry(f.opt.Tracer, mux)
 }
 
@@ -119,6 +122,27 @@ func (f *Fleet) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, f.Stats())
+}
+
+// handleQuality serves the fleet-level quality overview: every
+// tenant's QualityStats keyed by name (tenants without an observer are
+// omitted). Exemplar detail lives on the per-tenant endpoint.
+func (f *Fleet) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	engines := f.snapshotEngines()
+	per := make(map[string]QualityStats)
+	for name, e := range engines {
+		if at := e.qual.Load(); at != nil && at.source != nil {
+			per[name] = at.source.QualityStats()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenants":    len(per),
+		"per_tenant": per,
+	})
 }
 
 func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {

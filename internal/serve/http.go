@@ -85,8 +85,9 @@ func (e *Engine) AttachStream(h http.Handler, src StreamSource) {
 //	GET  /stats                          serving metrics (Stats)
 //	GET  /healthz                        liveness + snapshot generation
 //	GET  /metrics                        Prometheus text exposition
-//	GET  /debug/trace?n=50&slow=1        recent / slow request traces
+//	GET  /debug/trace?n=50&slow=1&min_ms=5   recent / slow request traces
 //	GET  /debug/snapshot                 non-blocking internals snapshot
+//	GET  /debug/quality                  worst shadow-scored ODs (AttachQuality)
 //
 // Every endpoint's request body is bounded by Options.MaxBodyBytes;
 // larger bodies are rejected with 413. Every response carries an
@@ -111,6 +112,7 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("/metrics", e.handleMetrics)
 	mux.HandleFunc("/debug/trace", traceHandler(e.trc))
 	mux.HandleFunc("/debug/snapshot", e.handleDebugSnapshot)
+	mux.HandleFunc("/debug/quality", e.handleQuality)
 	limit := e.opt.MaxBodyBytes
 	return withRequestTelemetry(e.trc, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !e.ready.Load() && !telemetryPath(r.URL.Path) {

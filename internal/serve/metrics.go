@@ -146,6 +146,11 @@ type Stats struct {
 	// when none is attached.
 	Stream *StreamStats `json:"stream,omitempty"`
 
+	// Quality reports the attached model-quality observer (shadow
+	// scoring accuracy, preference drift, staleness gauges); nil when
+	// none is attached.
+	Quality *QualityStats `json:"quality,omitempty"`
+
 	// Durability reports the write-ahead-log attachment (appends,
 	// checkpoints, recovery facts); nil on non-durable engines.
 	Durability *DurabilityStats `json:"durability,omitempty"`
@@ -189,6 +194,10 @@ func (e *Engine) Stats() Stats {
 	if at := e.stream.Load(); at != nil && at.source != nil {
 		ss := at.source.StreamStats()
 		st.Stream = &ss
+	}
+	if at := e.qual.Load(); at != nil && at.source != nil {
+		qs := at.source.QualityStats()
+		st.Quality = &qs
 	}
 	if e.dur != nil {
 		ds := e.dur.stats()

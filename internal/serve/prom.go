@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -78,6 +79,42 @@ func (e *Engine) writeProm(pw *obs.PromWriter, labels ...obs.Label) {
 		pw.Gauge("l2r_wal_torn_tail_truncated", "Whether recovery truncated a torn final record.", boolGauge(ds.TornTailTruncated), labels...)
 	}
 
+	if st.Quality != nil {
+		qs := st.Quality
+		pw.Gauge("l2r_quality_sample_rate", "Configured fraction of ingested trajectories shadow-scored.", qs.SampleRate, labels...)
+		pw.Counter("l2r_quality_shadow_offered_total", "Trajectories presented to the shadow scorer by the ingest path.", float64(qs.Offered), labels...)
+		pw.Counter("l2r_quality_shadow_sampled_total", "Trajectories deterministically sampled for shadow scoring.", float64(qs.Sampled), labels...)
+		pw.Counter("l2r_quality_shadow_scored_total", "Shadow scores completed.", float64(qs.Scored), labels...)
+		pw.Counter("l2r_quality_shadow_dropped_total", "Samples dropped by a full scoring queue — the scorer never blocks ingest.", float64(qs.Dropped), labels...)
+		pw.Counter("l2r_quality_shadow_skipped_total", "Samples unusable for scoring (degenerate or off-network paths).", float64(qs.Skipped), labels...)
+		pw.Gauge("l2r_quality_queue_depth", "Shadow-scoring queue occupancy.", float64(qs.QueueDepth), labels...)
+		pw.Gauge("l2r_quality_exemplars", "Worst-scoring ODs currently held for /debug/quality.", float64(qs.Exemplars), labels...)
+		if qs.Total.Scores > 0 {
+			pw.Gauge("l2r_quality_eq1_pct", "Cumulative mean Eq. 1 shadow-score accuracy (served vs driven path).", qs.Total.Eq1Pct, labels...)
+			pw.Gauge("l2r_quality_eq4_pct", "Cumulative mean Eq. 4 shadow-score accuracy (served vs driven path).", qs.Total.Eq4Pct, labels...)
+			pw.Gauge("l2r_quality_window_eq1_pct", "Rolling-window mean Eq. 1 shadow-score accuracy.", qs.Total.WindowEq1Pct, labels...)
+			pw.Gauge("l2r_quality_window_eq4_pct", "Rolling-window mean Eq. 4 shadow-score accuracy.", qs.Total.WindowEq4Pct, labels...)
+			pw.Gauge("l2r_quality_window_worst_eq1_pct", "Worst Eq. 1 score in the rolling window.", qs.WindowWorstEq1Pct, labels...)
+		}
+		for _, key := range sortedCellKeys(qs.PerCategory) {
+			cell := qs.PerCategory[key]
+			cl := append(withLabels(labels), obs.Label{Name: "category", Value: key})
+			pw.Gauge("l2r_quality_category_eq1_pct", "Cumulative mean Eq. 1 accuracy by paper query category.", cell.Eq1Pct, cl...)
+			pw.Gauge("l2r_quality_category_window_eq1_pct", "Rolling-window mean Eq. 1 accuracy by paper query category.", cell.WindowEq1Pct, cl...)
+		}
+		for _, key := range sortedCellKeys(qs.PerDistance) {
+			cell := qs.PerDistance[key]
+			cl := append(withLabels(labels), obs.Label{Name: "bucket", Value: key})
+			pw.Gauge("l2r_quality_distance_eq1_pct", "Cumulative mean Eq. 1 accuracy by trip-distance bucket.", cell.Eq1Pct, cl...)
+			pw.Gauge("l2r_quality_distance_window_eq1_pct", "Rolling-window mean Eq. 1 accuracy by trip-distance bucket.", cell.WindowEq1Pct, cl...)
+		}
+		pw.Gauge("l2r_drift_tv", "Learned-vs-served preference divergence: total-variation distance between the served snapshot's evidence-weighted preference distribution and the baseline captured at attach/publish.", qs.DriftTV, labels...)
+		pw.Gauge("l2r_drift_baseline_generation", "Snapshot generation the drift baseline was captured at.", float64(qs.BaselineGeneration), labels...)
+		pw.Gauge("l2r_drift_region_coverage", "Fraction of regions with any T-edge (trajectory-backed) evidence.", qs.RegionCoverage, labels...)
+		pw.Gauge("l2r_drift_evidence_age_seconds", "Time since the newest trajectory fold-in (0 before the first).", qs.EvidenceAge.Seconds(), labels...)
+		pw.Gauge("l2r_drift_cache_generation_lag", "Generations the oldest live route-cache entry trails the served snapshot.", float64(qs.CacheGenerationLag), labels...)
+	}
+
 	if e.trc != nil {
 		ts := e.trc.Stats()
 		pw.Counter("l2r_traces_total", "Request traces recorded.", float64(ts.Traces), labels...)
@@ -99,6 +136,17 @@ func withLabels(labels []obs.Label) []obs.Label {
 	return labels[:len(labels):len(labels)]
 }
 
+// sortedCellKeys returns the map's keys sorted, for a stable
+// exposition order.
+func sortedCellKeys(cells map[string]QualityScoreCell) []string {
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // stageHelp documents the per-stage histogram metric once.
 const stageHelp = "Duration of one traced request stage (cache.lookup, route.region_search, wal.append, ...)."
 
@@ -109,6 +157,7 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	pw := obs.NewPromWriter(w)
 	e.writeProm(pw)
 	pw.StageHistograms("l2r_stage_duration_seconds", stageHelp, e.trc)
+	writeBuildInfoProm(pw)
 	writeRuntimeProm(pw)
 	return pw.Err()
 }
@@ -120,10 +169,18 @@ func (f *Fleet) WriteMetrics(w io.Writer) error {
 	pw := obs.NewPromWriter(w)
 	engines := f.snapshotEngines()
 	pw.Gauge("l2r_tenants", "Registered tenants.", float64(len(engines)))
+	merged := &obs.Histogram{}
 	for _, name := range sortedNames(engines) {
-		engines[name].writeProm(pw, obs.Label{Name: "tenant", Value: name})
+		e := engines[name]
+		e.writeProm(pw, obs.Label{Name: "tenant", Value: name})
+		merged.Merge(&e.met.all)
 	}
+	// One unlabeled fleet-wide latency histogram: per-tenant quantiles
+	// cannot be averaged after the fact, so the merged distribution is
+	// the only honest source of fleet p50/p99/p999.
+	pw.Histogram("l2r_fleet_route_latency_seconds", "Routing query latency merged across all tenants.", merged)
 	pw.StageHistograms("l2r_stage_duration_seconds", stageHelp, f.opt.Tracer)
+	writeBuildInfoProm(pw)
 	writeRuntimeProm(pw)
 	return pw.Err()
 }

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/traj"
+)
+
+// fakeQuality is a minimal QualitySource: enough to prove the engine's
+// plumbing (offer on ingest, rebase on Publish, stats/metrics/debug
+// surfaces) without importing internal/quality (which imports serve).
+type fakeQuality struct {
+	offered   atomic.Uint64
+	published atomic.Uint64
+}
+
+func (f *fakeQuality) QualityStats() QualityStats {
+	return QualityStats{
+		SampleRate: 0.5,
+		Scored:     f.offered.Load(),
+		Total:      QualityScoreCell{Scores: f.offered.Load(), Eq1Pct: 90},
+	}
+}
+func (f *fakeQuality) OfferTrajectories(ts []*traj.Trajectory) { f.offered.Add(uint64(len(ts))) }
+func (f *fakeQuality) Published(r *core.Router)                { f.published.Add(1) }
+
+func TestEngineOffersIngestToQualitySource(t *testing.T) {
+	base, fresh := sharedWorld(t)
+	e := NewEngine(base.Clone(), Options{})
+	fq := &fakeQuality{}
+	e.AttachQuality(http.NotFoundHandler(), fq)
+
+	e.Ingest(fresh[:12])
+	if got := fq.offered.Load(); got != 12 {
+		t.Fatalf("quality source saw %d trajectories, want 12", got)
+	}
+	e.Publish(base.DeepClone())
+	if fq.published.Load() != 1 {
+		t.Fatalf("Published hook fired %d times, want 1", fq.published.Load())
+	}
+
+	st := e.Stats()
+	if st.Quality == nil || st.Quality.SampleRate != 0.5 {
+		t.Fatalf("Stats().Quality = %+v, want the attached source's report", st.Quality)
+	}
+
+	var buf strings.Builder
+	e.WriteMetrics(&buf)
+	body := buf.String()
+	for _, want := range []string{"l2r_quality_sample_rate", "l2r_quality_eq1_pct", "l2r_drift_tv", "l2r_build_info"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestTraceMinMSFilter(t *testing.T) {
+	base, fresh := sharedWorld(t)
+	tr := obs.NewTracer(obs.Config{})
+	e := NewEngine(base.Clone(), Options{Tracer: tr})
+	srv := httptest.NewServer(e.Handler())
+	t.Cleanup(srv.Close)
+
+	for _, q := range queries(fresh, 3) {
+		resp, err := http.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", srv.URL, q.Src, q.Dst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// min_ms=0 keeps everything; an impossibly high bar keeps nothing.
+	if reply := getTraces(t, srv.URL+"/debug/trace?min_ms=0"); len(reply.Traces) != 3 {
+		t.Fatalf("min_ms=0: %d traces want 3", len(reply.Traces))
+	}
+	if reply := getTraces(t, srv.URL+"/debug/trace?min_ms=3600000"); len(reply.Traces) != 0 {
+		t.Fatalf("min_ms=3600000: %d traces want 0", len(reply.Traces))
+	}
+
+	// The filter scans the whole ring even when n is small: a tight n
+	// with a permissive threshold still fills up to n.
+	if reply := getTraces(t, srv.URL+"/debug/trace?n=2&min_ms=0"); len(reply.Traces) != 2 {
+		t.Fatalf("n=2&min_ms=0: %d traces want 2", len(reply.Traces))
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/trace?min_ms=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("min_ms=banana: status %d want 400", resp.StatusCode)
+	}
+}
+
+// Fleet latency must be merged from the per-tenant histograms — true
+// fleet-wide quantiles, not an average of averages.
+func TestFleetMergedLatency(t *testing.T) {
+	f, srv := newFleetTestServer(t)
+	_, fresh := sharedWorld(t)
+
+	const perTenant = 5
+	for _, tenant := range []string{"acity", "bcity"} {
+		for _, q := range queries(fresh, perTenant) {
+			url := fmt.Sprintf("%s/t/%s/route?src=%d&dst=%d", srv.URL, tenant, q.Src, q.Dst)
+			getJSON(t, url, http.StatusOK, nil)
+		}
+	}
+
+	fs := f.Stats()
+	if fs.Latency.Queries != 2*perTenant {
+		t.Fatalf("merged latency count = %d want %d", fs.Latency.Queries, 2*perTenant)
+	}
+	if fs.Latency.P99 < fs.Latency.P50 || fs.Latency.Mean <= 0 {
+		t.Fatalf("merged quantiles implausible: %+v", fs.Latency)
+	}
+	// The merged histogram surfaces on the fleet's Prometheus page too.
+	var buf strings.Builder
+	f.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "l2r_fleet_route_latency_seconds") {
+		t.Fatal("fleet /metrics missing l2r_fleet_route_latency_seconds")
+	}
+}
+
+func TestBuildInfoSurfaces(t *testing.T) {
+	base, _ := sharedWorld(t)
+	e := NewEngine(base.Clone(), Options{})
+	ds := e.DebugSnapshotNow()
+	if ds.GoVersion == "" {
+		t.Fatal("DebugSnapshotNow missing GoVersion")
+	}
+}

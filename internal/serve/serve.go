@@ -154,9 +154,12 @@ type Engine struct {
 	writeMu sync.Mutex // serializes Ingest and Publish
 
 	// stream holds the optional streaming-ingestion attachment (HTTP
-	// front-end + stats source); trajSeq hands out engine-unique
-	// trajectory IDs to every ingestion path.
+	// front-end + stats source); qual the optional model-quality
+	// observer (shadow scorer + drift gauges, internal/quality);
+	// trajSeq hands out engine-unique trajectory IDs to every
+	// ingestion path.
 	stream  atomic.Pointer[streamAttachment]
+	qual    atomic.Pointer[qualityAttachment]
 	trajSeq atomic.Uint64
 
 	// dur is the optional durability attachment (write-ahead log +
@@ -174,6 +177,7 @@ type Engine struct {
 	start           time.Time
 	ingests         atomic.Uint64
 	ingestedTrajs   atomic.Uint64
+	lastIngestUnix  atomic.Int64 // unix nanos of the last trajectory fold-in
 	lastIngestNs    atomic.Int64 // wall time of the last copy-on-write ingest
 	lastSwapUnix    atomic.Int64 // unix nanos of the last snapshot swap
 	lastCustomizeNs atomic.Int64 // CH re-customization time within the last ingest
@@ -396,8 +400,16 @@ func (e *Engine) ingestDurable(ctx context.Context, ts []*traj.Trajectory, opt c
 	sw.End()
 	e.lastIngestNs.Store(int64(time.Since(start)))
 	e.lastSwapNs.Store(int64(time.Since(start) - st.Elapsed))
+	e.lastIngestUnix.Store(time.Now().UnixNano())
 	e.ingests.Add(1)
 	e.ingestedTrajs.Add(uint64(len(ts)))
+	if q := e.qual.Load(); q != nil && q.source != nil {
+		// Offer the applied batch for shadow scoring. The contract is
+		// non-blocking (sample, copy, enqueue-or-drop), so holding
+		// writeMu here is fine and every ingest path — HTTP /ingest,
+		// stream flushes, library calls — funnels through one hook.
+		q.source.OfferTrajectories(ts)
+	}
 	if e.dur != nil && durable && e.dur.shouldCheckpoint() {
 		ck := sp.Start("wal.checkpoint")
 		e.dur.checkpointLocked(next, e.trajSeq.Load())
@@ -453,6 +465,11 @@ func (e *Engine) Publish(r *core.Router) {
 	cur := e.snap.Load()
 	e.snap.Store(newSnapshot(r, cur.gen+1))
 	e.lastSwapUnix.Store(time.Now().UnixNano())
+	if q := e.qual.Load(); q != nil && q.source != nil {
+		// The drift baseline the observer captured describes the model
+		// this publish just replaced; let it rebase on r.
+		q.source.Published(r)
+	}
 	if e.dur != nil {
 		// The published router may sit on a different road network
 		// than the one the log was bound to (an artifact swap to a new

@@ -269,11 +269,19 @@ type FleetStreams struct {
 
 // AttachFleet attaches a streaming pipeline to every current and
 // future tenant of f (via Fleet.OnCreate), so POST /t/{name}/stream
-// works for artifacts hot-loaded later, too. Set it up before the
-// fleet serves traffic; call Close on the result at shutdown.
+// works for artifacts hot-loaded later, too. An OnCreate hook already
+// installed is chained, not replaced — per-tenant attachments
+// (quality.AttachFleet, this) compose in any order. Set it up before
+// the fleet serves traffic; call Close on the result at shutdown.
 func AttachFleet(f *serve.Fleet, cfg Config) *FleetStreams {
 	fs := &FleetStreams{cfg: cfg, ings: make(map[string]*Ingestor)}
-	f.OnCreate = func(name string, e *serve.Engine) { fs.attach(name, e) }
+	prev := f.OnCreate
+	f.OnCreate = func(name string, e *serve.Engine) {
+		if prev != nil {
+			prev(name, e)
+		}
+		fs.attach(name, e)
+	}
 	for _, name := range f.Names() {
 		if e, ok := f.Get(name); ok {
 			fs.attach(name, e)

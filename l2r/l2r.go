@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/quality"
 	"repro/internal/roadnet"
 	"repro/internal/serve"
 	"repro/internal/stream"
@@ -345,3 +346,37 @@ func NewTracer(cfg TraceConfig) *Tracer { return obs.NewTracer(cfg) }
 // slog line per request: method, path, tenant, status, bytes, duration
 // and request ID.
 func AccessLog(l *slog.Logger, h http.Handler) http.Handler { return serve.AccessLog(l, h) }
+
+// Model-quality observability re-exports. A quality observer shadow-
+// scores a sampled fraction of ingested trajectories off the hot path
+// (re-routing their ODs on the current snapshot and scoring the served
+// path against the driven one with the paper's Eq. 1 / Eq. 4), tracks
+// preference drift and staleness gauges, and keeps a ring of the
+// worst-scoring OD exemplars on GET /debug/quality. See
+// internal/quality.
+type (
+	// QualityConfig tunes a quality observer (sample rate, exemplar
+	// ring, pacing, rolling-window size).
+	QualityConfig = quality.Config
+	// QualityObserver is one engine's shadow scorer; Close at shutdown.
+	QualityObserver = quality.Observer
+	// FleetQuality tracks the per-tenant observers AttachFleetQuality
+	// creates.
+	FleetQuality = quality.FleetObservers
+	// QualityStats is the observer health block in Stats().Quality,
+	// /stats and /debug/quality.
+	QualityStats = serve.QualityStats
+	// QualityExemplar is one worst-scoring OD kept for debugging.
+	QualityExemplar = quality.Exemplar
+)
+
+// AttachQuality wires a model-quality observer into an engine: shadow
+// scores feed Stats().Quality, /metrics (l2r_quality_* / l2r_drift_*)
+// and GET /debug/quality. Call Close on the result at shutdown.
+func AttachQuality(e *Engine, cfg QualityConfig) *QualityObserver { return quality.Attach(e, cfg) }
+
+// AttachFleetQuality attaches a quality observer to every current and
+// future tenant of a fleet (GET /t/{tenant}/debug/quality).
+func AttachFleetQuality(f *Fleet, cfg QualityConfig) *FleetQuality {
+	return quality.AttachFleet(f, cfg)
+}

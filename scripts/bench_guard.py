@@ -12,6 +12,10 @@ value:
   lower-is-better  ns_per_op, *_ns / *-ns, B/op / *bytes_per_op,
                    allocs/op / *allocs_per_op  -> fail if fresh > RATIO * base
   higher-is-better *qps*, *per_sec             -> fail if fresh < base / RATIO
+  accuracy (pct)   *_acc_pct, *_score_pct      -> fail if fresh drops more
+                   than PCT_DROP points below base (ratios are meaningless
+                   for a bounded 0-100 scale; model quality regressions
+                   must be caught long before "half as good")
 
 Everything else (counts, sizes, metadata) is informational. Two escape
 hatches keep the gate honest instead of flaky:
@@ -34,6 +38,8 @@ INFORMATIONAL = {"customize_ns", "swap_ns"}
 NS_FLOOR = 1000.0      # 1 us: sub-microsecond timings are scheduler noise
 BYTES_FLOOR = 64.0
 ALLOCS_FLOOR = 2.0
+PCT_FLOOR = 5.0        # accuracy percentages under 5% are all noise
+PCT_DROP = 10.0        # allowed accuracy drop in absolute points
 
 
 def classify(key):
@@ -46,6 +52,10 @@ def classify(key):
         return "lower", BYTES_FLOOR
     if key == "allocs/op" or key.endswith("allocs_per_op"):
         return "lower", ALLOCS_FLOOR
+    if key.endswith("_acc_pct") or key.endswith("_score_pct"):
+        # Model-quality percentages (shadow-score accuracy): regressions
+        # mean the served routes drifted from the driven evidence.
+        return "higher_pct", PCT_FLOOR
     if "qps" in key or key.endswith("per_sec"):
         return "higher", 0.0
     return None, 0.0
@@ -88,6 +98,9 @@ def main():
             elif direction == "higher" and fv < bv / ratio:
                 failures.append("%s.%s: %g is below 1/%g of committed baseline %g"
                                 % (bench, key, fv, ratio, bv))
+            elif direction == "higher_pct" and fv < bv - PCT_DROP:
+                failures.append("%s.%s: %g dropped more than %g points below committed baseline %g"
+                                % (bench, key, fv, PCT_DROP, bv))
             else:
                 print("ok   %s.%s: %g (baseline %g)" % (bench, key, fv, bv))
     if gated == 0:
