@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -8,6 +9,9 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/maint"
 	"repro/internal/quality"
 	"repro/internal/serve"
 	"repro/internal/worldgen"
@@ -108,6 +112,10 @@ func runBench(h *harness) error {
 		rec.Close()
 	}
 
+	if err := maintPhase(h, e, report); err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -177,6 +185,83 @@ func buildReport(h *harness, rs *replayStats, st serve.Stats, before, after *run
 		}
 	}
 	return report
+}
+
+// maintPhase is the maintenance benchmark: attach the background
+// maintainer to the engine that just served the replay, drive one
+// manual clone-rebuild-publish cycle over every trajectory the replay
+// ingested, and re-score the rebuilt snapshot's routes against the
+// held-out driven paths. maint_rebuild_ns is a single-sample wall
+// measurement (informational in the bench guard, like customize_ns);
+// shadow_eq1_acc_pct/shadow_eq4_acc_pct are gated accuracy floors —
+// a rebuild is only worth its latency if the model it publishes still
+// matches the evidence.
+func maintPhase(h *harness, e *serve.Engine, report map[string]map[string]any) error {
+	mt := maint.Attach(e, maint.Config{
+		CheckEvery: time.Hour, // manual trigger only
+		Core: core.Options{
+			SkipMapMatching: true,
+			PathBackend:     backendFor(h.cfg.pathEngine),
+		},
+	})
+	defer mt.Close()
+
+	t0 := time.Now()
+	rst, err := mt.TriggerNow(context.Background())
+	if err != nil {
+		return fmt.Errorf("maintenance rebuild: %w", err)
+	}
+	wall := time.Since(t0)
+
+	// Post-rebuild accuracy over the held-out test trips: route each
+	// trajectory's OD on the rebuilt snapshot and score the answer
+	// against the driven path (the same Eq. 1 / Eq. 4 the shadow scorer
+	// applies online).
+	var eq1Sum, eq4Sum float64
+	scored := 0
+	for _, tr := range h.world.Test {
+		if scored >= 512 {
+			break
+		}
+		if len(tr.Truth) < 2 {
+			continue
+		}
+		res, _ := e.Route(tr.Source(), tr.Destination())
+		if len(res.Path) == 0 {
+			continue
+		}
+		eq1, eq4 := eval.ScorePath(h.world.Road, tr.Truth, res.Path)
+		eq1Sum += eq1
+		eq4Sum += eq4
+		scored++
+	}
+
+	st := mt.MaintStats()
+	m := map[string]any{
+		"maint_rebuild_ns":    float64(wall.Nanoseconds()),
+		"maint_tedges_added":  float64(st.LastTEdgesAdded),
+		"maint_tedges":        float64(rst.TEdges),
+		"maint_bedges":        float64(rst.BEdges),
+		"maint_learned_prefs": float64(rst.LearnedPrefs),
+		"maint_transferred":   float64(rst.Transferred),
+		"rebuilds":            float64(st.Rebuilds),
+	}
+	if scored > 0 {
+		m["shadow_eq1_acc_pct"] = 100 * eq1Sum / float64(scored)
+		m["shadow_eq4_acc_pct"] = 100 * eq4Sum / float64(scored)
+	}
+	report["l2rbench_maint"] = m
+	log.Printf("maintenance: rebuild in %v (%d T-edges, %d added, %d prefs), post-rebuild eq1 %.1f%% over %d ODs",
+		wall.Round(time.Millisecond), rst.TEdges, st.LastTEdgesAdded, rst.LearnedPrefs,
+		100*eq1Sum/float64(maxInt(scored, 1)), scored)
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func b2f(b bool) float64 {

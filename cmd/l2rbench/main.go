@@ -3,7 +3,12 @@
 // over its training trajectories, and replays a Zipf-mixed live
 // workload — route lookups, alternative-route queries, preference
 // queries and stream-ingest batches — against a serve.Engine, either
-// in-process or over loopback HTTP.
+// in-process or over loopback HTTP. After the replay (and the timed
+// crash-recovery) it runs a maintenance phase: one background
+// clone-rebuild-publish cycle (internal/maint) over everything the
+// replay ingested, reported as l2rbench_maint — maint_rebuild_ns and
+// maint_tedges_added are informational, the post-rebuild
+// shadow_eq1_acc_pct / shadow_eq4_acc_pct accuracy floors are gated.
 //
 // Where bench_test.go measures isolated operations, l2rbench measures
 // the serving system: cache and coalescing under skewed OD traffic,

@@ -26,6 +26,8 @@
 //	GET  /debug/snapshot         non-blocking engine internals
 //	GET  /debug/quality          shadow-score quality, drift gauges and
 //	                             worst-route exemplars
+//	GET  /debug/maint            background-maintenance state (with
+//	                             -maint; 404 otherwise)
 //
 // With -stream (the default) a streaming ingestion pipeline is
 // attached: POST /stream accepts raw per-vehicle NDJSON GPS points
@@ -53,6 +55,18 @@
 // crashes. In fleet mode the directory is a root with one
 // subdirectory per tenant. -wal-sync picks the fsync policy (always |
 // none). See OPERATIONS.md for the runbook.
+//
+// With -maint a background maintenance pipeline rides on each engine:
+// ingested trajectories accumulate as evidence and, when a trigger
+// fires (preference drift over -maint-drift-tv, volume over
+// -maint-min-evidence, or the -maint-interval timer), the model is
+// re-transduced on a clone off the hot path and published through the
+// same snapshot swap ingestion uses — queries never block, and on a
+// durable engine the rebuilt model is checkpointed immediately. GET
+// /debug/maint (and a maintenance block in /stats, plus the
+// l2r_maint_* metric family) exposes accumulator occupancy, trigger
+// gauges and rebuild history. In fleet mode every tenant gets its own
+// maintainer. OPERATIONS.md covers trigger tuning and rollback.
 //
 // Telemetry: every request gets an X-Request-ID (honored when the
 // caller supplies one) and, with -trace (the default), a span-tree
@@ -123,6 +137,10 @@ func main() {
 	traceRing := flag.Int("trace-ring", 256, "completed traces kept for /debug/trace")
 	qualityRate := flag.Float64("quality-sample-rate", 0.1, "shadow-score this fraction of ingested trajectories off the hot path (GET /debug/quality); 0 disables")
 	qualityRing := flag.Int("quality-ring", 16, "worst-scoring OD exemplars kept for /debug/quality")
+	maintOn := flag.Bool("maint", false, "attach the background maintenance pipeline: accumulate evidence and re-transduce the model off the hot path when a trigger fires (GET /debug/maint)")
+	maintDrift := flag.Float64("maint-drift-tv", 0.25, "maintenance drift trigger: rebuild when preference drift (TV distance) exceeds this (negative disables)")
+	maintEvidence := flag.Int("maint-min-evidence", 4096, "maintenance evidence trigger: rebuild after this many trajectories accumulate (negative disables)")
+	maintInterval := flag.Duration("maint-interval", 0, "maintenance timer trigger: rebuild this long after the previous one (0 disables)")
 	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "requests at least this slow also land in the slow-query log (negative disables)")
 	logFormat := flag.String("log-format", "text", "access log format: text or json")
 	flag.Parse()
@@ -182,7 +200,11 @@ func main() {
 		if *replayTrips > 0 || *replayFile != "" {
 			log.Fatal("replay modes are single-tenant; in fleet mode feed POST /t/{tenant}/stream instead")
 		}
-		serveFleet(*addr, *debugAddr, *artifactDir, *reload, *drain, opt, *streamOn, streamCfg, *qualityRate, *qualityRing, logger)
+		var maintCfg *l2r.MaintConfig
+		if *maintOn {
+			maintCfg = &l2r.MaintConfig{DriftTV: *maintDrift, MinEvidence: *maintEvidence, Interval: *maintInterval}
+		}
+		serveFleet(*addr, *debugAddr, *artifactDir, *reload, *drain, opt, *streamOn, streamCfg, *qualityRate, *qualityRing, maintCfg, logger)
 		return
 	}
 
@@ -218,6 +240,16 @@ func main() {
 		defer qo.Close()
 		log.Printf("quality observer attached: GET /debug/quality (sample rate %.2f, %d exemplars)",
 			*qualityRate, *qualityRing)
+	}
+	if *maintOn {
+		mt := l2r.AttachMaint(engine, l2r.MaintConfig{
+			DriftTV:     *maintDrift,
+			MinEvidence: *maintEvidence,
+			Interval:    *maintInterval,
+		})
+		defer mt.Close()
+		log.Printf("maintenance pipeline attached: GET /debug/maint (drift > %.2f, evidence >= %d, interval %v)",
+			*maintDrift, *maintEvidence, *maintInterval)
 	}
 	var background func(context.Context)
 	if *streamOn {
@@ -314,7 +346,7 @@ func replayPoints(replayTrips int, replayFile, artifact, network string, seed in
 // tenant, hot-reloaded on change while the fleet serves. With
 // streaming on, every tenant — including ones hot-loaded later — gets
 // its own pipeline behind POST /t/{tenant}/stream.
-func serveFleet(addr, debugAddr, dir string, reload, drain time.Duration, opt l2r.ServeOptions, streamOn bool, streamCfg l2r.StreamConfig, qualityRate float64, qualityRing int, logger *slog.Logger) {
+func serveFleet(addr, debugAddr, dir string, reload, drain time.Duration, opt l2r.ServeOptions, streamOn bool, streamCfg l2r.StreamConfig, qualityRate float64, qualityRing int, maintCfg *l2r.MaintConfig, logger *slog.Logger) {
 	fleet := l2r.NewFleet(opt)
 	if streamOn {
 		streams := l2r.AttachFleetStreams(fleet, streamCfg)
@@ -325,6 +357,11 @@ func serveFleet(addr, debugAddr, dir string, reload, drain time.Duration, opt l2
 		quality := l2r.AttachFleetQuality(fleet, l2r.QualityConfig{SampleRate: qualityRate, Ring: qualityRing})
 		defer quality.Close()
 		log.Printf("quality observers attached: GET /t/{tenant}/debug/quality (sample rate %.2f)", qualityRate)
+	}
+	if maintCfg != nil {
+		maints := l2r.AttachFleetMaint(fleet, *maintCfg)
+		defer maints.Close()
+		log.Printf("maintenance pipelines attached: GET /t/{tenant}/debug/maint")
 	}
 	watcher := l2r.NewFleetWatcher(fleet, dir)
 	watcher.Logf = log.Printf

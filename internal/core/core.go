@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -332,11 +333,52 @@ func (r *Router) privatizeLearned() {
 // training trajectory set.
 func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Router, error) {
 	opt = opt.withDefaults()
+	r, paths, err := startBuild(road, training, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1a: clustering.
+	start := time.Now()
+	var regions []cluster.Region
+	switch opt.ClusterMethod {
+	case ClusterGrid:
+		regions = cluster.GridCluster(road, paths, opt.Grid)
+	case ClusterHierarchy:
+		regions = cluster.HierarchyPartition(road, paths, opt.Hierarchy)
+	default:
+		tg := cluster.BuildTrajectoryGraph(road, paths)
+		regions = cluster.Cluster(tg, opt.Cluster)
+	}
+	r.stats.ClusterTime = time.Since(start)
+	return finishBuild(r, regions, paths, opt)
+}
+
+// BuildWithRegions runs the offline pipeline over a fixed,
+// caller-supplied region partition, skipping the clustering phase.
+// Background maintenance keeps the partition fixed while rebuilding
+// everything derived from trajectories, so its convergence contract —
+// an online-maintained router equals one rebuilt from scratch over the
+// union evidence — is stated (and property-tested) against this entry
+// point: feed it the live router's partition plus all evidence the
+// maintained router ever saw.
+func BuildWithRegions(road *roadnet.Graph, regions []cluster.Region, training []*traj.Trajectory, opt Options) (*Router, error) {
+	opt = opt.withDefaults()
+	r, paths, err := startBuild(road, training, opt)
+	if err != nil {
+		return nil, err
+	}
+	return finishBuild(r, regions, paths, opt)
+}
+
+// startBuild validates inputs and runs phase 0 (map matching), shared
+// by Build and BuildWithRegions.
+func startBuild(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Router, []roadnet.Path, error) {
 	if road == nil || road.NumVertices() == 0 {
-		return nil, errors.New("core: empty road network")
+		return nil, nil, errors.New("core: empty road network")
 	}
 	if len(training) == 0 {
-		return nil, errors.New("core: no training trajectories")
+		return nil, nil, errors.New("core: no training trajectories")
 	}
 
 	r := &Router{road: road, idx: spatial.NewIndex(road, opt.IndexCellM)}
@@ -350,7 +392,6 @@ func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Rout
 		IndexCellM:      opt.IndexCellM,
 	}
 
-	// Phase 0: map matching (parallel).
 	start := time.Now()
 	paths := make([]roadnet.Path, 0, len(training))
 	if opt.SkipMapMatching {
@@ -370,33 +411,29 @@ func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Rout
 	}
 	r.stats.MatchTime = time.Since(start)
 	if len(paths) == 0 {
-		return nil, errors.New("core: map matching produced no usable paths")
+		return nil, nil, errors.New("core: map matching produced no usable paths")
 	}
+	return r, paths, nil
+}
 
-	// Phase 1: clustering and region graph.
-	start = time.Now()
-	var regions []cluster.Region
-	switch opt.ClusterMethod {
-	case ClusterGrid:
-		regions = cluster.GridCluster(road, paths, opt.Grid)
-	case ClusterHierarchy:
-		regions = cluster.HierarchyPartition(road, paths, opt.Hierarchy)
-	default:
-		tg := cluster.BuildTrajectoryGraph(road, paths)
-		regions = cluster.Cluster(tg, opt.Cluster)
-	}
-	rg := region.Build(road, regions, paths, opt.Region)
+// finishBuild runs phases 1b–3 — region graph, preference learning,
+// transduction, materialization, metric prewarm — over an already
+// chosen region partition.
+func finishBuild(r *Router, regions []cluster.Region, paths []roadnet.Path, opt Options) (*Router, error) {
+	// Phase 1b: region graph.
+	start := time.Now()
+	rg := region.Build(r.road, regions, paths, opt.Region)
 	rg.ConnectBFS()
 	r.rg = rg
-	r.stats.ClusterTime = time.Since(start)
+	r.stats.ClusterTime += time.Since(start)
 	r.stats.Regions = rg.NumRegions()
 	r.stats.TEdges = rg.TEdgeCount()
 	r.stats.BEdges = rg.BEdgeCount()
 
 	// Phase 2a: learn preferences for T-edges and regions (parallel).
 	start = time.Now()
-	r.learned = learnAll(road, rg, opt)
-	r.regionPrefs = learnRegions(road, rg, opt)
+	r.learned = learnAll(r.road, rg, opt)
+	r.regionPrefs = learnRegions(r.road, rg, opt)
 	r.stats.LearnTime = time.Since(start)
 	r.stats.LearnedPrefs = len(r.learned)
 
@@ -404,20 +441,7 @@ func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Rout
 	// learned preferences serve as labels; low-similarity fits would
 	// propagate noise.
 	start = time.Now()
-	labeled := make([]transfer.Labeled, 0, len(r.learned))
-	for id, res := range r.learned {
-		if res.Similarity >= opt.MinConfidence {
-			labeled = append(labeled, transfer.Labeled{EdgeID: id, Pref: res.Preference})
-		}
-	}
-	sortLabeled(labeled)
-	var targets []int
-	for _, e := range rg.Edges {
-		if e.Kind == region.BEdge {
-			targets = append(targets, e.ID)
-		}
-	}
-	res := transfer.Run(rg, labeled, targets, opt.Transfer)
+	res := r.transduce(opt)
 	r.stats.TransferTime = time.Since(start)
 	r.stats.TransferredOK = len(res.Pref)
 	r.stats.NullBEdges = len(res.Null)
@@ -440,7 +464,7 @@ func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Rout
 	// construction already runs on the selected backend. With BackendCH
 	// the hierarchy is preprocessed exactly once here and shared by
 	// every Clone, DeepClone and serving fork of this router.
-	r.eng = newPathEngine(road, opt, &r.stats)
+	r.eng = newPathEngine(r.road, opt, &r.stats)
 
 	// Phase 3: materialize B-edge paths.
 	start = time.Now()
@@ -454,6 +478,32 @@ func Build(road *roadnet.Graph, training []*traj.Trajectory, opt Options) (*Rout
 	}
 
 	return r, nil
+}
+
+// transduce assembles the label/target sets from the current learned
+// map and region graph and runs the preference transfer. Labels and
+// targets are ordered canonically by region pair (not by edge ID), so
+// the linear system's row order — and with it the floating-point
+// summation order of the solve — is a function of the region graph's
+// edge *set*: a router maintained online (whose edge IDs reflect
+// discovery order across many ingests) and one rebuilt from scratch
+// over the union evidence produce bit-identical transductions.
+func (r *Router) transduce(opt Options) transfer.Result {
+	labeled := make([]transfer.Labeled, 0, len(r.learned))
+	for id, res := range r.learned {
+		if res.Similarity >= opt.MinConfidence {
+			labeled = append(labeled, transfer.Labeled{EdgeID: id, Pref: res.Preference})
+		}
+	}
+	sortLabeled(r.rg, labeled)
+	var targets []int
+	for _, e := range r.rg.Edges {
+		if e.Kind == region.BEdge {
+			targets = append(targets, e.ID)
+		}
+	}
+	sortByPair(r.rg, targets)
+	return transfer.Run(r.rg, labeled, targets, opt.Transfer)
 }
 
 // newPathEngine constructs the backend Options.PathBackend selects,
@@ -573,13 +623,28 @@ func (r *Router) PrepareMetricsTouched(touched []int) int {
 	return n
 }
 
-// sortLabeled orders labeled edges by ID for deterministic matrices.
-func sortLabeled(ls []transfer.Labeled) {
-	for i := 1; i < len(ls); i++ {
-		for j := i; j > 0 && ls[j].EdgeID < ls[j-1].EdgeID; j-- {
-			ls[j], ls[j-1] = ls[j-1], ls[j]
+// sortLabeled orders labeled edges canonically by their region pair
+// for deterministic, creation-history-independent matrices (each pair
+// has exactly one edge, so the order is total).
+func sortLabeled(rg *region.Graph, ls []transfer.Labeled) {
+	sort.Slice(ls, func(i, j int) bool {
+		a, b := rg.Edges[ls[i].EdgeID], rg.Edges[ls[j].EdgeID]
+		if a.R1 != b.R1 {
+			return a.R1 < b.R1
 		}
-	}
+		return a.R2 < b.R2
+	})
+}
+
+// sortByPair orders edge IDs canonically by their region pair.
+func sortByPair(rg *region.Graph, ids []int) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := rg.Edges[ids[i]], rg.Edges[ids[j]]
+		if a.R1 != b.R1 {
+			return a.R1 < b.R1
+		}
+		return a.R2 < b.R2
+	})
 }
 
 // pathFinder adapts a route.PathEngine to the transfer.Materialize

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/pref"
+	"repro/internal/region"
+	"repro/internal/transfer"
+)
+
+// This file implements the heavy half of online maintenance: a full
+// re-learn + re-transduction of the router over all evidence its region
+// graph has accumulated. Where Ingest (incremental.go) relearns only
+// the edges a batch touched and never re-runs the transfer, Retransduce
+// redoes phases 2a–3 of the offline pipeline — preference learning,
+// transduction over the similarity graph, B-edge materialization —
+// against the current path sets. Run it off the hot path on an
+// IngestClone and publish the result through the serving layer's
+// snapshot swap (internal/maint drives exactly this loop).
+
+// RetransduceStats summarizes one maintenance rebuild.
+type RetransduceStats struct {
+	// Regions, TEdges and BEdges describe the region graph the rebuild
+	// ran over (the partition is fixed; edge kinds can have shifted
+	// since the last build through B→T upgrades).
+	Regions int
+	TEdges  int
+	BEdges  int
+	// LearnedPrefs counts T-edges with a re-learned preference;
+	// Transferred and Null count B-edges the transduction labeled and
+	// could not label.
+	LearnedPrefs int
+	Transferred  int
+	Null         int
+	// MetricsCustomized counts CH metrics customized by the closing
+	// PrepareMetrics pass (0 on Dijkstra backends).
+	MetricsCustomized int
+	LearnTime         time.Duration
+	TransferTime      time.Duration
+	MaterializeTime   time.Duration
+	Elapsed           time.Duration
+}
+
+// Retransduce re-runs preference learning, transduction and B-edge
+// materialization over the router's accumulated evidence, keeping the
+// region partition fixed. opt should carry the same Region/Transfer/
+// MinConfidence/Workers values the router was built with; the zero
+// value gets the same defaults Build applies.
+//
+// The result converges: a router maintained by Ingest batches and then
+// Retransduced equals one rebuilt from scratch (BuildWithRegions) over
+// the same partition and the union of all evidence — T-edge path sets
+// and transfer centers accumulate exactly (region.AddPaths), the
+// transfer system's row order is canonical by region pair, and every
+// derived preference is recomputed here from the full path sets rather
+// than patched incrementally. Retransduce is also idempotent, which is
+// what makes crash recovery simple: recovering an engine onto either
+// the pre- or post-rebuild snapshot and re-running maintenance lands
+// on the same router.
+//
+// Like Ingest, Retransduce mutates built state: run it on an
+// IngestClone or DeepClone that is not serving queries. On a COW clone
+// every mutated edge is privatized first, so the parent keeps serving
+// reads race-free while the rebuild runs.
+func (r *Router) Retransduce(opt Options) RetransduceStats {
+	opt = opt.withDefaults()
+	start := time.Now()
+	var st RetransduceStats
+
+	// New trajectory evidence may have landed in region pairs that had
+	// no edge at all when ConnectBFS last ran — and, conversely, B→T
+	// upgrades can have rerouted connectivity. Re-running ConnectBFS is
+	// idempotent (it only adds B-edges where a pair has none) and keeps
+	// the region graph connected for the transduction below.
+	r.rg.ConnectBFS()
+	st.Regions = r.rg.NumRegions()
+	st.TEdges = r.rg.TEdgeCount()
+	st.BEdges = r.rg.BEdgeCount()
+
+	// Phase 2a: re-learn every T-edge and region preference from the
+	// full accumulated path sets. The maps are rebound, not patched —
+	// an IngestClone shares them with its parent.
+	t0 := time.Now()
+	r.learned = learnAll(r.road, r.rg, opt)
+	r.learnedCOW = false
+	r.regionPrefs = learnRegions(r.road, r.rg, opt)
+	for id, lr := range r.regionPrefs {
+		if lr.Similarity < opt.MinConfidence {
+			delete(r.regionPrefs, id)
+		}
+	}
+	st.LearnTime = time.Since(t0)
+	st.LearnedPrefs = len(r.learned)
+
+	// Reset every edge's derived preference state, privatizing it on a
+	// COW clone: T-edges get their re-learned preference (confidence-
+	// gated), B-edges are cleared — their materialized paths and
+	// transferred preferences derive from the previous transduction and
+	// are rebuilt below. Clearing before transfer.Run also means
+	// Materialize's direct writes land on privately owned edges.
+	for _, e := range r.rg.Edges {
+		switch e.Kind {
+		case region.TEdge:
+			lr, ok := r.learned[e.ID]
+			confident := ok && lr.Similarity >= opt.MinConfidence
+			if !confident && !e.HasPref {
+				continue
+			}
+			me := r.rg.EdgeForUpdate(e.ID)
+			if confident {
+				me.Pref, me.HasPref = lr.Preference, true
+			} else {
+				me.Pref, me.HasPref = pref.Preference{}, false
+			}
+		case region.BEdge:
+			me := r.rg.EdgeForUpdate(e.ID)
+			me.PathsFwd, me.PathsRev = nil, nil
+			me.Pref, me.HasPref = pref.Preference{}, false
+		}
+	}
+
+	// Phase 2b: re-run the transduction over the similarity graph.
+	t0 = time.Now()
+	res := r.transduce(opt)
+	st.TransferTime = time.Since(t0)
+	st.Transferred = len(res.Pref)
+	st.Null = len(res.Null)
+
+	// Phase 3: re-materialize B-edge paths on the selected backend.
+	t0 = time.Now()
+	transfer.Materialize(r.rg, res, &pathFinder{eng: r.eng.Fork()})
+	st.MaterializeTime = time.Since(t0)
+
+	// Preferences may now combine ⟨master, slave⟩ pairs never routed on
+	// before; a full prewarm keeps first queries off the customization
+	// path. PrepareMetrics only adds metric versions, so serving forks
+	// reading the previous table stay race-free (the same contract the
+	// ingest write path relies on).
+	st.MetricsCustomized = r.PrepareMetrics()
+
+	// Refresh pipeline stats so Stats() describes the rebuilt model.
+	r.stats.TEdges = st.TEdges
+	r.stats.BEdges = st.BEdges
+	r.stats.LearnedPrefs = st.LearnedPrefs
+	r.stats.TransferredOK = st.Transferred
+	r.stats.NullBEdges = st.Null
+	r.stats.LearnTime = st.LearnTime
+	r.stats.TransferTime = st.TransferTime
+	r.stats.MaterializeTime = st.MaterializeTime
+
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// TEdgePairs returns the set of region pairs connected by T-edges,
+// keyed [r1, r2] with r1 < r2. Maintenance uses it to count how many
+// trajectory-backed pairs a rebuild incorporated (edge IDs are
+// creation-history dependent; pairs are canonical).
+func (r *Router) TEdgePairs() map[[2]int]bool {
+	out := make(map[[2]int]bool)
+	for _, e := range r.rg.Edges {
+		if e.Kind == region.TEdge {
+			out[[2]int{e.R1, e.R2}] = true
+		}
+	}
+	return out
+}

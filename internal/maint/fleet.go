@@ -1,0 +1,70 @@
+package maint
+
+import (
+	"sync"
+
+	"repro/internal/serve"
+)
+
+// FleetMaintainers tracks the per-tenant maintainers AttachFleet
+// creates.
+type FleetMaintainers struct {
+	cfg Config
+	mu  sync.Mutex
+	ms  map[string]*Maintainer
+}
+
+// AttachFleet attaches a background maintainer to every current and
+// future tenant of f, chaining any Fleet.OnCreate hook already
+// installed (so it composes with stream.AttachFleet and
+// quality.AttachFleet in any order). Call Close on the result at
+// shutdown.
+func AttachFleet(f *serve.Fleet, cfg Config) *FleetMaintainers {
+	fm := &FleetMaintainers{cfg: cfg, ms: make(map[string]*Maintainer)}
+	prev := f.OnCreate
+	f.OnCreate = func(name string, e *serve.Engine) {
+		if prev != nil {
+			prev(name, e)
+		}
+		fm.attach(name, e)
+	}
+	for _, name := range f.Names() {
+		if e, ok := f.Get(name); ok {
+			fm.attach(name, e)
+		}
+	}
+	return fm
+}
+
+func (fm *FleetMaintainers) attach(name string, e *serve.Engine) {
+	m := Attach(e, fm.cfg)
+	fm.mu.Lock()
+	old := fm.ms[name]
+	fm.ms[name] = m
+	fm.mu.Unlock()
+	if old != nil {
+		old.Close() // tenant re-created under the same name
+	}
+}
+
+// Get returns the named tenant's maintainer.
+func (fm *FleetMaintainers) Get(name string) (*Maintainer, bool) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	m, ok := fm.ms[name]
+	return m, ok
+}
+
+// Close stops every attached maintainer.
+func (fm *FleetMaintainers) Close() {
+	fm.mu.Lock()
+	all := make([]*Maintainer, 0, len(fm.ms))
+	for _, m := range fm.ms {
+		all = append(all, m)
+	}
+	fm.ms = make(map[string]*Maintainer)
+	fm.mu.Unlock()
+	for _, m := range all {
+		m.Close()
+	}
+}

@@ -1,0 +1,22 @@
+package maint
+
+import (
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// handler serves GET /debug/maint: the maintainer's full stats. The
+// serve layer mounts it on the engine mux (and under /t/{tenant}/ for
+// fleets); like every /debug/ path it bypasses the readiness gate.
+func (m *Maintainer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			serve.WriteError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, map[string]any{
+			"maintenance": m.MaintStats(),
+		})
+	})
+}

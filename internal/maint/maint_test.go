@@ -1,0 +1,702 @@
+package maint
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/serve"
+	"repro/internal/traj"
+)
+
+// coreOpt is the pipeline configuration every maint test builds and
+// maintains with — Retransduce must re-run with the build's options for
+// the convergence contract to hold.
+var coreOpt = core.Options{SkipMapMatching: true}
+
+// maintWorld generates a deterministic world: the seeded road network
+// and the full simulated trajectory set. Callers regenerate it (same
+// seed) when they need a pristine copy of the same trajectories —
+// Build and IngestMatched both mutate the trajectories they are given.
+func maintWorld(tb testing.TB, seed int64, trips int) (*roadnet.Graph, []*traj.Trajectory) {
+	tb.Helper()
+	road := roadnet.Generate(roadnet.Tiny(seed))
+	ts := traj.NewSimulator(road, traj.D2Like(seed, trips)).Run()
+	if len(ts) < 20 {
+		tb.Fatalf("simulator made only %d trips", len(ts))
+	}
+	return road, ts
+}
+
+// batchCopies splits live trajectories into ingest batches of n,
+// copying each so the source set stays pristine for reference builds.
+func batchCopies(live []*traj.Trajectory, n int) [][]*traj.Trajectory {
+	var batches [][]*traj.Trajectory
+	for i := 0; i < len(live); i += n {
+		j := i + n
+		if j > len(live) {
+			j = len(live)
+		}
+		var b []*traj.Trajectory
+		for k, t := range live[i:j] {
+			b = append(b, &traj.Trajectory{ID: i + k, Driver: t.Driver, Depart: t.Depart, Peak: t.Peak, Truth: t.Truth})
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// queryODs samples n OD pairs: trajectory endpoints first (guaranteed
+// reachable, trajectory-covered), then seeded-random vertex pairs that
+// exercise B-edge and fallback routing.
+func queryODs(road *roadnet.Graph, ts []*traj.Trajectory, n int) [][2]roadnet.VertexID {
+	var ods [][2]roadnet.VertexID
+	for _, t := range ts {
+		if len(ods) >= n*3/4 {
+			break
+		}
+		ods = append(ods, [2]roadnet.VertexID{t.Source(), t.Destination()})
+	}
+	rng := rand.New(rand.NewSource(7))
+	for len(ods) < n {
+		s := roadnet.VertexID(rng.Intn(road.NumVertices()))
+		d := roadnet.VertexID(rng.Intn(road.NumVertices()))
+		if s != d {
+			ods = append(ods, [2]roadnet.VertexID{s, d})
+		}
+	}
+	return ods
+}
+
+// buildMaintEngine builds the offline 60% prefix into a router, wraps
+// it in an engine, and attaches a manual-only maintainer (CheckEvery an
+// hour out, so only TriggerNow rebuilds). Returns the engine, the
+// maintainer, and the held-out live trajectories.
+func buildMaintEngine(tb testing.TB, seed int64, trips int, cfg Config) (*serve.Engine, *Maintainer, *roadnet.Graph, []*traj.Trajectory) {
+	tb.Helper()
+	road, ts := maintWorld(tb, seed, trips)
+	cut := len(ts) * 6 / 10
+	base, err := core.Build(road, ts[:cut], coreOpt)
+	if err != nil {
+		tb.Fatalf("Build: %v", err)
+	}
+	e := serve.NewEngine(base, serve.Options{CacheSize: -1})
+	if cfg.CheckEvery == 0 {
+		cfg.CheckEvery = time.Hour
+	}
+	cfg.Core = coreOpt
+	m := Attach(e, cfg)
+	return e, m, road, ts[cut:]
+}
+
+// TestMaintConvergenceMatchesRebuild is the convergence property test:
+// trajectories streamed through a live engine and folded in by the
+// maintenance pipeline must yield the same router a from-scratch
+// offline build over the same partition and the union of all evidence
+// produces — identical T-edge pair sets, identical per-pair preference
+// state, and identical answers on 200+ OD queries.
+func TestMaintConvergenceMatchesRebuild(t *testing.T) {
+	const seed, trips = 47, 600
+	e, m, road, live := buildMaintEngine(t, seed, trips, Config{})
+	defer m.Close()
+
+	for _, b := range batchCopies(live, 16) {
+		e.IngestMatched(b)
+	}
+	st, err := m.TriggerNow(context.Background())
+	if err != nil {
+		t.Fatalf("TriggerNow: %v", err)
+	}
+	if st.Regions == 0 || st.TEdges == 0 {
+		t.Fatalf("rebuild saw an empty region graph: %+v", st)
+	}
+	maintained := e.Snapshot()
+
+	// The reference: rebuild from scratch over the maintained router's
+	// own partition and a pristine regeneration of every trajectory it
+	// ever saw (training + streamed).
+	roadRef, tsRef := maintWorld(t, seed, trips)
+	ref, err := core.BuildWithRegions(roadRef, maintained.RegionGraph().Regions, tsRef, coreOpt)
+	if err != nil {
+		t.Fatalf("BuildWithRegions: %v", err)
+	}
+
+	mp, rp := maintained.TEdgePairs(), ref.TEdgePairs()
+	if len(mp) != len(rp) {
+		t.Fatalf("T-edge pair sets differ: maintained %d, rebuilt %d", len(mp), len(rp))
+	}
+	for p := range mp {
+		if !rp[p] {
+			t.Fatalf("maintained T-edge %v missing from the from-scratch rebuild", p)
+		}
+	}
+
+	mg, rg := maintained.RegionGraph(), ref.RegionGraph()
+	if len(mg.Edges) != len(rg.Edges) {
+		t.Fatalf("edge counts differ: maintained %d, rebuilt %d", len(mg.Edges), len(rg.Edges))
+	}
+	for _, me := range mg.Edges {
+		re := rg.FindEdge(me.R1, me.R2)
+		if re == nil {
+			t.Fatalf("maintained edge %d-%d missing from rebuild", me.R1, me.R2)
+		}
+		// Pref is only meaningful under HasPref: an edge that lost (or
+		// never reached) confidence keeps a stale Pref value that no
+		// routing path reads.
+		if me.Kind != re.Kind || me.HasPref != re.HasPref || (me.HasPref && me.Pref != re.Pref) {
+			t.Fatalf("edge %d-%d diverged: maintained kind=%v haspref=%v pref=%v, rebuilt kind=%v haspref=%v pref=%v",
+				me.R1, me.R2, me.Kind, me.HasPref, me.Pref, re.Kind, re.HasPref, re.Pref)
+		}
+	}
+
+	ods := queryODs(road, tsRef, 220)
+	if len(ods) < 200 {
+		t.Fatalf("only %d OD pairs sampled, need 200+", len(ods))
+	}
+	for _, od := range ods {
+		got, _ := e.Route(od[0], od[1])
+		want := ref.Route(od[0], od[1])
+		if got.Category != want.Category || len(got.Path) != len(want.Path) {
+			t.Fatalf("%d->%d differs: maintained %v/%d hops, rebuilt %v/%d hops",
+				od[0], od[1], got.Category, len(got.Path), want.Category, len(want.Path))
+		}
+		for i := range got.Path {
+			if got.Path[i] != want.Path[i] {
+				t.Fatalf("%d->%d differs at hop %d", od[0], od[1], i)
+			}
+		}
+	}
+}
+
+// TestMaintRetransduceIdempotent: a second rebuild over unchanged
+// evidence must not move the model — the fixed point the crash test's
+// "re-run maintenance after recovery" step relies on.
+func TestMaintRetransduceIdempotent(t *testing.T) {
+	e, m, road, live := buildMaintEngine(t, 49, 400, Config{})
+	defer m.Close()
+	for _, b := range batchCopies(live, 16) {
+		e.IngestMatched(b)
+	}
+	if _, err := m.TriggerNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ods := queryODs(road, live, 120)
+	first := answersOf(e, ods)
+	if _, err := m.TriggerNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if second := answersOf(e, ods); !sameAnswers(first, second) {
+		t.Fatal("a no-new-evidence rebuild changed route answers")
+	}
+}
+
+// answersOf snapshots an engine's answers over a fixed OD set.
+func answersOf(e *serve.Engine, ods [][2]roadnet.VertexID) []core.RouteResult {
+	out := make([]core.RouteResult, len(ods))
+	for i, od := range ods {
+		out[i], _ = e.Route(od[0], od[1])
+	}
+	return out
+}
+
+func sameAnswers(a, b []core.RouteResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Category != b[i].Category || len(a[i].Path) != len(b[i].Path) {
+			return false
+		}
+		for j := range a[i].Path {
+			if a[i].Path[j] != b[i].Path[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMaintEvidenceTrigger: the background loop fires a rebuild once
+// MinEvidence trajectories accumulate, and stays quiet afterwards while
+// nothing new is ingested.
+func TestMaintEvidenceTrigger(t *testing.T) {
+	e, m, _, live := buildMaintEngine(t, 53, 300, Config{
+		CheckEvery:  2 * time.Millisecond,
+		MinEvidence: 4,
+		DriftTV:     -1, // evidence only
+	})
+	defer m.Close()
+
+	e.IngestMatched(batchCopies(live, 8)[0])
+	waitFor(t, "evidence-triggered rebuild", func() bool { return m.MaintStats().Rebuilds >= 1 })
+	st := m.MaintStats()
+	if st.LastTrigger != "evidence" {
+		t.Fatalf("LastTrigger = %q, want evidence", st.LastTrigger)
+	}
+	if st.EvidenceSinceRebuild != 0 {
+		t.Fatalf("evidence counter = %d after rebuild, want 0", st.EvidenceSinceRebuild)
+	}
+
+	// Quiescence: with no new evidence the trigger must not re-fire.
+	got := m.MaintStats().Rebuilds
+	time.Sleep(50 * time.Millisecond)
+	if now := m.MaintStats().Rebuilds; now != got {
+		t.Fatalf("rebuilds advanced %d -> %d with no new evidence", got, now)
+	}
+}
+
+// TestMaintTimerTrigger: with drift and evidence triggers disabled, the
+// interval timer alone rebuilds — but only once at least one trajectory
+// has arrived since the last publish.
+func TestMaintTimerTrigger(t *testing.T) {
+	e, m, _, live := buildMaintEngine(t, 53, 300, Config{
+		CheckEvery:  2 * time.Millisecond,
+		MinEvidence: -1,
+		DriftTV:     -1,
+		Interval:    10 * time.Millisecond,
+	})
+	defer m.Close()
+
+	time.Sleep(40 * time.Millisecond)
+	if n := m.MaintStats().Rebuilds; n != 0 {
+		t.Fatalf("timer fired %d rebuilds with zero evidence", n)
+	}
+	e.IngestMatched(batchCopies(live, 4)[0])
+	waitFor(t, "timer-triggered rebuild", func() bool { return m.MaintStats().Rebuilds >= 1 })
+	if lt := m.MaintStats().LastTrigger; lt != "timer" {
+		t.Fatalf("LastTrigger = %q, want timer", lt)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMaintAccumulatorBounds: the evidence ring honors Capacity,
+// evicting oldest-first and counting what it dropped; eviction is
+// bookkeeping only — the region graph holds the full evidence.
+func TestMaintAccumulatorBounds(t *testing.T) {
+	e, m, _, live := buildMaintEngine(t, 59, 300, Config{Capacity: 4})
+	defer m.Close()
+
+	e.IngestMatched(batchCopies(live, 10)[0])
+	st := m.MaintStats()
+	if st.Retained != 4 || st.Capacity != 4 {
+		t.Fatalf("retained %d/%d, want 4/4", st.Retained, st.Capacity)
+	}
+	if st.Evicted != 6 || st.Accumulated != 10 {
+		t.Fatalf("evicted %d accumulated %d, want 6/10", st.Evicted, st.Accumulated)
+	}
+	if st.EvidenceSinceRebuild != 10 {
+		t.Fatalf("evidence %d, want 10 (eviction must not shrink the trigger counter)", st.EvidenceSinceRebuild)
+	}
+}
+
+// TestMaintEndpointAndStats: /debug/maint is 404 until a maintainer is
+// attached, then serves the full stats block; Stats().Maintenance and
+// /metrics follow the same lifecycle.
+func TestMaintEndpointAndStats(t *testing.T) {
+	road, ts := maintWorld(t, 61, 300)
+	cut := len(ts) * 6 / 10
+	base, err := core.Build(road, ts[:cut], coreOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := serve.NewEngine(base, serve.Options{CacheSize: -1})
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/maint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unattached /debug/maint = %d, want 404", resp.StatusCode)
+	}
+	if e.Stats().Maintenance != nil {
+		t.Fatal("Stats().Maintenance set before attach")
+	}
+
+	m := Attach(e, Config{CheckEvery: time.Hour, Core: coreOpt})
+	defer m.Close()
+	e.IngestMatched(batchCopies(ts[cut:], 8)[0])
+
+	resp, err = http.Get(srv.URL + "/debug/maint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/maint = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Maintenance serve.MaintStats `json:"maintenance"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Maintenance.Retained != 8 || body.Maintenance.EvidenceSinceRebuild != 8 {
+		t.Fatalf("endpoint stats retained=%d evidence=%d, want 8/8",
+			body.Maintenance.Retained, body.Maintenance.EvidenceSinceRebuild)
+	}
+
+	st := e.Stats()
+	if st.Maintenance == nil {
+		t.Fatal("Stats().Maintenance missing after attach")
+	}
+	if st.Maintenance.Accumulated != 8 {
+		t.Fatalf("Stats().Maintenance.Accumulated = %d, want 8", st.Maintenance.Accumulated)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	sb, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"l2r_maint_retained", "l2r_maint_rebuilds_total", "l2r_maint_drift_tv"} {
+		if !strings.Contains(string(sb), name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+}
+
+// TestMaintRecoverySeeding: evidence that was WAL-durable but not yet
+// rebuilt into the model when the process died must re-seed the
+// accumulator on the next attach, so the triggers re-arm instead of
+// silently forgetting it.
+func TestMaintRecoverySeeding(t *testing.T) {
+	_, ts := maintWorld(t, 67, 300)
+	cut := len(ts) * 6 / 10
+	build := func() *core.Router {
+		roadB, tsB := maintWorld(t, 67, 300)
+		r, err := core.Build(roadB, tsB[:cut], coreOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	dir := t.TempDir()
+	opt := serve.Options{WALDir: dir, CheckpointEvery: -1, CacheSize: -1}
+	e1, err := serve.NewDurableEngine(build(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := batchCopies(ts[cut:], 8)[:3]
+	for _, b := range batches {
+		e1.IngestMatched(b)
+	}
+	e1.Close() // no checkpoint: the WAL tail holds all 24 trajectories
+
+	e2, err := serve.NewDurableEngine(build(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	m := Attach(e2, Config{CheckEvery: time.Hour, Core: coreOpt})
+	defer m.Close()
+
+	st := m.MaintStats()
+	if st.RecoverySeeded != 24 || st.Retained != 24 || st.EvidenceSinceRebuild != 24 {
+		t.Fatalf("recovery seeded %d retained %d evidence %d, want 24/24/24: %+v",
+			st.RecoverySeeded, st.Retained, st.EvidenceSinceRebuild, st)
+	}
+
+	// The seeded evidence counts toward the next rebuild; the rebuild
+	// consumes it.
+	if _, err := m.TriggerNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st = m.MaintStats()
+	if st.RecoverySeeded != 0 || st.EvidenceSinceRebuild != 0 {
+		t.Fatalf("accumulator not reset after rebuild: %+v", st)
+	}
+}
+
+// TestMaintExternalPublishResets: an external artifact publish
+// supersedes the accumulated evidence window — the maintainer rebases
+// its baseline on the published router and clears the accumulator.
+func TestMaintExternalPublishResets(t *testing.T) {
+	e, m, _, live := buildMaintEngine(t, 71, 300, Config{})
+	defer m.Close()
+	e.IngestMatched(batchCopies(live, 8)[0])
+	if st := m.MaintStats(); st.EvidenceSinceRebuild != 8 {
+		t.Fatalf("evidence = %d, want 8", st.EvidenceSinceRebuild)
+	}
+	e.Publish(e.Snapshot().DeepClone())
+	if st := m.MaintStats(); st.EvidenceSinceRebuild != 0 || st.Retained != 0 {
+		t.Fatalf("external publish did not reset the accumulator: %+v", st)
+	}
+}
+
+// TestMaintSoakConcurrentRebuilds is the mid-traffic publish soak (run
+// under -race in CI): routers, an ingester, a stats scraper and a
+// maintenance loop hammer one engine; every query must come back with
+// a non-empty path — a snapshot swap may never drop a query.
+func TestMaintSoakConcurrentRebuilds(t *testing.T) {
+	road, ts := maintWorld(t, 73, 400)
+	cut := len(ts) * 6 / 10
+	base, err := core.Build(road, ts[:cut], coreOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := serve.NewEngine(base, serve.Options{})
+	m := Attach(e, Config{CheckEvery: time.Hour, Core: coreOpt})
+	defer m.Close()
+
+	ods := queryODs(road, ts[:cut], 64)
+	startGen := e.Generation()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var routed, dropped atomic.Uint64
+
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				od := ods[rng.Intn(len(ods))]
+				res, _ := e.Route(od[0], od[1])
+				routed.Add(1)
+				if len(res.Path) == 0 {
+					dropped.Add(1)
+				}
+			}
+		}(int64(i))
+	}
+
+	wg.Add(1)
+	go func() { // ingester: recycle the live feed in small batches
+		defer wg.Done()
+		live := ts[cut:]
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := (i * 4) % len(live)
+			hi := lo + 4
+			if hi > len(live) {
+				hi = len(live)
+			}
+			e.IngestMatched(batchCopies(live[lo:hi], 4)[0])
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // maintenance loop: rebuild as fast as the engine allows
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := m.TriggerNow(context.Background()); err != nil {
+				t.Errorf("TriggerNow: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.Stats()
+			_ = m.MaintStats()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if routed.Load() == 0 {
+		t.Fatal("soak routed nothing")
+	}
+	if dropped.Load() != 0 {
+		t.Fatalf("%d of %d queries dropped during maintenance publishes", dropped.Load(), routed.Load())
+	}
+	if m.MaintStats().Rebuilds == 0 {
+		t.Fatal("soak completed no rebuilds")
+	}
+	if e.Generation() == startGen {
+		t.Fatal("no snapshot was published during the soak")
+	}
+	t.Logf("soak: %d routes, %d rebuilds, generation %d -> %d",
+		routed.Load(), m.MaintStats().Rebuilds, startGen, e.Generation())
+}
+
+// TestMaintOverheadBudget gates the serving-latency cost of a
+// background rebuild: p99 route latency with a maintenance rebuild
+// loop running must stay within 10% of the undisturbed p99. The
+// rebuild runs under the write lock, never the read path, so the only
+// legitimate cost is memory traffic — not blocking.
+func TestMaintOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency budget needs full samples")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		// With a single CPU the rebuild goroutine and the measured
+		// router share one core and the test measures the scheduler,
+		// not the engine. The contention this test gates (lock or
+		// cache-line interference on the read path) needs a spare core.
+		t.Skip("needs >= 2 CPUs to time routing against a concurrent rebuild")
+	}
+
+	road, ts := maintWorld(t, 79, 400)
+	cut := len(ts) * 6 / 10
+	base, err := core.Build(road, ts[:cut], coreOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := serve.NewEngine(base, serve.Options{CacheSize: -1})
+	m := Attach(e, Config{CheckEvery: time.Hour, Core: coreOpt})
+	defer m.Close()
+	for _, b := range batchCopies(ts[cut:], 16) {
+		e.IngestMatched(b)
+	}
+	ods := queryODs(road, ts[:cut], 64)
+
+	const samples = 1500
+	p99 := func(rebuilding bool) time.Duration {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if rebuilding {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := m.TriggerNow(context.Background()); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		lat := make([]time.Duration, samples)
+		rng := rand.New(rand.NewSource(11))
+		for i := range lat {
+			od := ods[rng.Intn(len(ods))]
+			start := time.Now()
+			e.Route(od[0], od[1])
+			lat[i] = time.Since(start)
+		}
+		close(stop)
+		wg.Wait()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[samples*99/100]
+	}
+
+	// Three attempts, best ratio wins: a single noisy run (GC pause,
+	// scheduler hiccup) must not fail the gate, a systematic regression
+	// fails all three.
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		baseline := p99(false)
+		loaded := p99(true)
+		ratio := float64(loaded) / float64(baseline)
+		t.Logf("attempt %d: baseline p99 %v, during-rebuild p99 %v (ratio %.3f)", attempt, baseline, loaded, ratio)
+		if best == 0 || ratio < best {
+			best = ratio
+		}
+		if best <= 1.10 {
+			return
+		}
+	}
+	t.Fatalf("rebuild added more than 10%% to p99 route latency in all attempts (best ratio %.3f)", best)
+}
+
+// TestMaintFleetAttach: AttachFleet covers current and future tenants,
+// chains the existing OnCreate hook, and mounts each tenant's
+// /t/{name}/debug/maint endpoint.
+func TestMaintFleetAttach(t *testing.T) {
+	buildFor := func(seed int64) *core.Router {
+		road, ts := maintWorld(t, seed, 300)
+		r, err := core.Build(road, ts[:len(ts)*6/10], coreOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	fleet := serve.NewFleet(serve.Options{CacheSize: -1})
+	defer fleet.Close()
+	var hookCalls atomic.Uint64
+	fleet.OnCreate = func(string, *serve.Engine) { hookCalls.Add(1) }
+	if _, err := fleet.Add("acity", buildFor(83)); err != nil {
+		t.Fatal(err)
+	}
+
+	fm := AttachFleet(fleet, Config{CheckEvery: time.Hour, Core: coreOpt})
+	defer fm.Close()
+	if _, ok := fm.Get("acity"); !ok {
+		t.Fatal("existing tenant did not get a maintainer")
+	}
+
+	// A tenant created after attach gets one too, and the previous
+	// OnCreate hook still runs.
+	if _, err := fleet.Add("bcity", buildFor(89)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fm.Get("bcity"); !ok {
+		t.Fatal("late tenant did not get a maintainer")
+	}
+	if hookCalls.Load() != 2 { // once per Add: AttachFleet must keep calling the prior hook
+		t.Fatalf("chained OnCreate ran %d times, want 2", hookCalls.Load())
+	}
+
+	srv := httptest.NewServer(fleet.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/t/acity/debug/maint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/t/acity/debug/maint = %d, want 200", resp.StatusCode)
+	}
+}

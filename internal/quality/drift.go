@@ -69,6 +69,16 @@ func (o *Observer) drift() driftState {
 	return *d
 }
 
+// DriftTV returns the total-variation distance between the
+// evidence-weighted preference distributions of two region graphs, in
+// [0, 1] — the same gauge the observer exports as l2r_drift_tv.
+// internal/maint uses it as a rebuild trigger against its own baseline
+// without needing a full observer attached. Both graphs must be
+// immutable while measured (published snapshots are).
+func DriftTV(baseline, current *region.Graph) float64 {
+	return tvDistance(prefDistOf(baseline), prefDistOf(current))
+}
+
 // prefDistOf builds the evidence-weighted preference distribution of a
 // region graph's T-edges. Published snapshots are immutable (ingest
 // mutates a copy-on-write clone and swaps), so reading the live

@@ -9,6 +9,7 @@ type cowState struct {
 	edges []bool // Edges[i] privately owned
 	inner []bool // inner[i] (and its hash cache) privately owned
 	tcs   []bool // transferCenters[i] privately owned
+	tccs  []bool // tcCounts[i] privately owned
 	adj   []bool // adj[i] privately owned
 	index bool   // index map privately owned
 }
@@ -40,6 +41,7 @@ func (g *Graph) CloneCOW() *Graph {
 	cp.adj = append([][]int(nil), g.adj...)
 	cp.inner = append([][]InnerPath(nil), g.inner...)
 	cp.transferCenters = append([][]roadnet.VertexID(nil), g.transferCenters...)
+	cp.tcCounts = append([]map[roadnet.VertexID]int(nil), g.tcCounts...)
 	// Hash caches index the shared path sets; the clone starts with none
 	// and rebuilds them lazily on the private copies it makes.
 	cp.innerHash = make([][]uint64, len(g.inner))
@@ -48,6 +50,7 @@ func (g *Graph) CloneCOW() *Graph {
 		edges: make([]bool, len(g.Edges)),
 		inner: make([]bool, len(g.inner)),
 		tcs:   make([]bool, len(g.transferCenters)),
+		tccs:  make([]bool, len(g.tcCounts)),
 		adj:   make([]bool, len(g.adj)),
 	}
 	return cp
@@ -102,6 +105,20 @@ func (g *Graph) mutTC(r int) {
 	}
 	g.transferCenters[r] = append([]roadnet.VertexID(nil), g.transferCenters[r]...)
 	g.cow.tcs[r] = true
+}
+
+// mutTCCount privatizes region r's transfer-center count map before an
+// increment (map writes would otherwise hit the shared parent map).
+func (g *Graph) mutTCCount(r int) {
+	if g.tcCounts == nil || g.cow == nil || g.cow.tccs[r] {
+		return
+	}
+	m := make(map[roadnet.VertexID]int, len(g.tcCounts[r])+1)
+	for k, v := range g.tcCounts[r] {
+		m[k] = v
+	}
+	g.tcCounts[r] = m
+	g.cow.tccs[r] = true
 }
 
 // mutAdj privatizes region r's edge-ID adjacency before appending.
@@ -190,6 +207,16 @@ func (g *Graph) Clone() *Graph {
 	for i, tc := range g.transferCenters {
 		if len(tc) > 0 {
 			cp.transferCenters[i] = append([]roadnet.VertexID(nil), tc...)
+		}
+	}
+	if g.tcCounts != nil {
+		cp.tcCounts = make([]map[roadnet.VertexID]int, len(g.tcCounts))
+		for i, m := range g.tcCounts {
+			nm := make(map[roadnet.VertexID]int, len(m))
+			for k, v := range m {
+				nm[k] = v
+			}
+			cp.tcCounts[i] = nm
 		}
 	}
 	return cp

@@ -171,6 +171,13 @@ type Graph struct {
 	// transferCenters[r] lists vertices where trajectories entered or
 	// left region r, most frequent first.
 	transferCenters [][]roadnet.VertexID
+	// tcCounts[r] retains the visit counts behind transferCenters[r] so
+	// incremental ingestion (AddPaths) can recount exactly instead of
+	// approximating: a graph maintained online materializes the same
+	// transfer-center lists a from-scratch build over the union evidence
+	// would. nil on graphs restored from pre-counts snapshots, which
+	// fall back to presence-based bumping.
+	tcCounts []map[roadnet.VertexID]int
 	// topTypes[r] is the region's top-k road-type set (Section V-B
 	// functionality feature).
 	topTypes [][]roadnet.RoadType
@@ -263,11 +270,27 @@ func (g *Graph) edge(r1, r2 int, kind EdgeKind) *Edge {
 	if g.cow != nil {
 		g.cow.edges = append(g.cow.edges, true) // freshly created, private
 	}
-	g.mutAdj(e.R1)
-	g.adj[e.R1] = append(g.adj[e.R1], e.ID)
-	g.mutAdj(e.R2)
-	g.adj[e.R2] = append(g.adj[e.R2], e.ID)
+	g.insertAdj(e.R1, e.ID)
+	g.insertAdj(e.R2, e.ID)
 	return e
+}
+
+// insertAdj adds edge id to region r's adjacency, keeping the list
+// ordered by the neighbor region's ID. Adjacency order is therefore a
+// function of the graph's edge *set*, not of edge creation history —
+// a graph maintained incrementally traverses neighbors in the same
+// order as one built from scratch over the union evidence, which the
+// online-maintenance convergence guarantee depends on. Each region
+// pair has exactly one edge, so neighbor IDs are unique within a list.
+func (g *Graph) insertAdj(r, id int) {
+	g.mutAdj(r)
+	a := g.adj[r]
+	o := g.Edges[id].Other(r)
+	i := sort.Search(len(a), func(i int) bool { return g.Edges[a[i]].Other(r) > o })
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = id
+	g.adj[r] = a
 }
 
 // Options tunes region-graph construction.
@@ -335,9 +358,9 @@ func Build(road *roadnet.Graph, regions []cluster.Region, paths []roadnet.Path, 
 	}
 	g.computeTopTypes(opt.TopK)
 
-	tcCount := make([]map[roadnet.VertexID]int, len(regions))
-	for i := range tcCount {
-		tcCount[i] = make(map[roadnet.VertexID]int)
+	g.tcCounts = make([]map[roadnet.VertexID]int, len(regions))
+	for i := range g.tcCounts {
+		g.tcCounts[i] = make(map[roadnet.VertexID]int)
 	}
 
 	for _, p := range paths {
@@ -345,9 +368,9 @@ func Build(road *roadnet.Graph, regions []cluster.Region, paths []roadnet.Path, 
 		// Inner paths and transfer centers.
 		for _, vis := range visits {
 			entryV, exitV := p[vis.entry], p[vis.exit]
-			tcCount[vis.region][entryV]++
+			g.tcCounts[vis.region][entryV]++
 			if exitV != entryV {
-				tcCount[vis.region][exitV]++
+				g.tcCounts[vis.region][exitV]++
 			}
 			if vis.exit > vis.entry {
 				sub := append(roadnet.Path(nil), p[vis.entry:vis.exit+1]...)
@@ -382,29 +405,42 @@ func Build(road *roadnet.Graph, regions []cluster.Region, paths []roadnet.Path, 
 
 	// Materialize transfer-center lists, most frequent first.
 	g.transferCenters = make([][]roadnet.VertexID, len(regions))
-	for r, m := range tcCount {
-		type vc struct {
-			v roadnet.VertexID
-			c int
-		}
-		vcs := make([]vc, 0, len(m))
-		for v, c := range m {
-			vcs = append(vcs, vc{v, c})
-		}
-		sort.Slice(vcs, func(i, j int) bool {
-			if vcs[i].c != vcs[j].c {
-				return vcs[i].c > vcs[j].c
-			}
-			return vcs[i].v < vcs[j].v
-		})
-		if len(vcs) > opt.MaxTransferCenters {
-			vcs = vcs[:opt.MaxTransferCenters]
-		}
-		for _, x := range vcs {
-			g.transferCenters[r] = append(g.transferCenters[r], x.v)
-		}
+	for r := range g.tcCounts {
+		g.rebuildTransferCenters(r, opt.MaxTransferCenters)
 	}
 	return g
+}
+
+// rebuildTransferCenters re-materializes region r's transfer-center
+// list from the retained visit counts: most visited first, vertex ID
+// breaking ties, capped at maxCenters. Build and AddPaths both land
+// here, so an incrementally maintained graph carries exactly the list
+// a from-scratch build over the union evidence would.
+func (g *Graph) rebuildTransferCenters(r, maxCenters int) {
+	m := g.tcCounts[r]
+	type vc struct {
+		v roadnet.VertexID
+		c int
+	}
+	vcs := make([]vc, 0, len(m))
+	for v, c := range m {
+		vcs = append(vcs, vc{v, c})
+	}
+	sort.Slice(vcs, func(i, j int) bool {
+		if vcs[i].c != vcs[j].c {
+			return vcs[i].c > vcs[j].c
+		}
+		return vcs[i].v < vcs[j].v
+	})
+	if len(vcs) > maxCenters {
+		vcs = vcs[:maxCenters]
+	}
+	list := make([]roadnet.VertexID, len(vcs))
+	for i, x := range vcs {
+		list[i] = x.v
+	}
+	g.mutTC(r)
+	g.transferCenters[r] = list
 }
 
 // segmentVisits splits a trajectory path into maximal same-region runs.

@@ -2,6 +2,7 @@ package region
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/geo"
@@ -18,7 +19,12 @@ type Snapshot struct {
 	Centroids       []geo.Point
 	Inner           [][]InnerPath
 	TransferCenters [][]roadnet.VertexID
-	TopTypes        [][]roadnet.RoadType
+	// TCCounts carries the visit counts behind TransferCenters so a
+	// restored graph keeps recounting exactly on incremental ingestion.
+	// nil in artifacts written before counts were retained; restored
+	// graphs then fall back to presence-based center bumping.
+	TCCounts []map[roadnet.VertexID]int
+	TopTypes [][]roadnet.RoadType
 }
 
 // Snapshot captures the graph's full state for persistence.
@@ -29,6 +35,7 @@ func (g *Graph) Snapshot() *Snapshot {
 		Centroids:       g.centroids,
 		Inner:           g.inner,
 		TransferCenters: g.transferCenters,
+		TCCounts:        g.tcCounts,
 		TopTypes:        g.topTypes,
 	}
 	for i, e := range g.Edges {
@@ -49,6 +56,7 @@ func Restore(road *roadnet.Graph, s *Snapshot) (*Graph, error) {
 		centroids:       s.Centroids,
 		inner:           s.Inner,
 		transferCenters: s.TransferCenters,
+		tcCounts:        s.TCCounts,
 		topTypes:        s.TopTypes,
 		index:           make(map[[2]int]int),
 	}
@@ -87,6 +95,14 @@ func Restore(road *roadnet.Graph, s *Snapshot) (*Graph, error) {
 		g.adj[e.R1] = append(g.adj[e.R1], i)
 		g.adj[e.R2] = append(g.adj[e.R2], i)
 		g.index[pairKey(e.R1, e.R2)] = i
+	}
+	// Canonical adjacency order (neighbor region ID, matching insertAdj)
+	// so a restored graph traverses neighbors exactly as the graph that
+	// produced the snapshot did.
+	for r := range g.adj {
+		sort.Slice(g.adj[r], func(i, j int) bool {
+			return g.Edges[g.adj[r][i]].Other(r) < g.Edges[g.adj[r][j]].Other(r)
+		})
 	}
 	// Optional slices may be absent in minimal snapshots; normalize to
 	// per-region length so accessors stay in bounds.

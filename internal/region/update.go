@@ -51,6 +51,7 @@ func (g *Graph) AddPaths(paths []roadnet.Path, opt Options) UpdateStats {
 	var st UpdateStats
 	st.Paths = len(paths)
 	touched := make(map[int]bool)
+	dirtyTC := make(map[int]bool)
 
 	for _, p := range paths {
 		for _, v := range p {
@@ -62,9 +63,9 @@ func (g *Graph) AddPaths(paths []roadnet.Path, opt Options) UpdateStats {
 		visits := segmentVisits(g, p)
 		for _, vis := range visits {
 			entryV, exitV := p[vis.entry], p[vis.exit]
-			g.bumpTransferCenter(vis.region, entryV, opt.MaxTransferCenters)
+			g.bumpTransferCenter(vis.region, entryV, opt.MaxTransferCenters, dirtyTC)
 			if exitV != entryV {
-				g.bumpTransferCenter(vis.region, exitV, opt.MaxTransferCenters)
+				g.bumpTransferCenter(vis.region, exitV, opt.MaxTransferCenters, dirtyTC)
 			}
 			if vis.exit > vis.entry {
 				sub := append(roadnet.Path(nil), p[vis.entry:vis.exit+1]...)
@@ -113,22 +114,35 @@ func (g *Graph) AddPaths(paths []roadnet.Path, opt Options) UpdateStats {
 			}
 		}
 	}
+	// Re-materialize the transfer-center lists of every region whose
+	// counts moved, once per batch rather than per bump.
+	for r := range dirtyTC {
+		g.rebuildTransferCenters(r, opt.MaxTransferCenters)
+	}
 	return st
 }
 
-// bumpTransferCenter promotes v within region r's transfer-center list,
-// appending it if absent and the list has room. The incremental variant
-// cannot recount exactly (build-time counts are not retained), so it
-// uses presence plus bounded growth — sufficient for B-edge path
-// materialization, which only needs a small representative set.
-func (g *Graph) bumpTransferCenter(r int, v roadnet.VertexID, maxCenters int) {
-	for _, x := range g.transferCenters[r] {
-		if x == v {
-			return
+// bumpTransferCenter records one more entry/exit visit of v in region
+// r. With retained build-time counts (Graph.tcCounts) the count is
+// incremented exactly and the caller re-sorts the region's list after
+// the batch — identical to what a from-scratch build over the union
+// evidence produces. Graphs restored from pre-counts snapshots have no
+// counts to add to; they fall back to presence plus bounded growth,
+// sufficient for B-edge path materialization.
+func (g *Graph) bumpTransferCenter(r int, v roadnet.VertexID, maxCenters int, dirty map[int]bool) {
+	if g.tcCounts == nil {
+		for _, x := range g.transferCenters[r] {
+			if x == v {
+				return
+			}
 		}
+		if len(g.transferCenters[r]) < maxCenters {
+			g.mutTC(r)
+			g.transferCenters[r] = append(g.transferCenters[r], v)
+		}
+		return
 	}
-	if len(g.transferCenters[r]) < maxCenters {
-		g.mutTC(r)
-		g.transferCenters[r] = append(g.transferCenters[r], v)
-	}
+	g.mutTCCount(r)
+	g.tcCounts[r][v]++
+	dirty[r] = true
 }

@@ -35,6 +35,11 @@ type durability struct {
 	replayedTrajs           int
 	tornTail                bool
 	recoveredSeq            uint64
+
+	// replayed retains the batches start-up recovery replayed until the
+	// first TakeRecoveredBatches call hands them over (writeMu after
+	// readiness; written once before publishInitial).
+	replayed []wal.Batch
 }
 
 // NewDurableEngine wraps a built router for serving with durable
@@ -127,6 +132,10 @@ func NewDurableEngine(r *core.Router, opt Options) (*Engine, error) {
 		// by this process must not collide with the checkpoint's
 		// watermark or with any replayed trajectory's ID.
 		e.trajSeq.Store(idWatermark)
+		// Retain the replayed batches for TakeRecoveredBatches (the
+		// maintenance accumulator re-seeds from them); publishInitial's
+		// readiness flip publishes this write to waiting readers.
+		d.replayed = batches
 		if e.opt.PathBackend == core.BackendCH {
 			// Checkpoints, like all artifacts, carry no hierarchy;
 			// rebuild it once before traffic (no-op when base already
@@ -146,6 +155,26 @@ func NewDurableEngine(r *core.Router, opt Options) (*Engine, error) {
 // Durable reports whether the engine journals ingested batches to a
 // write-ahead log.
 func (e *Engine) Durable() bool { return e.dur != nil }
+
+// TakeRecoveredBatches returns the ingest batches start-up recovery
+// replayed from the write-ahead log, handing them over exactly once
+// (a second call — or any call on a non-durable or replay-free engine —
+// returns nil). The batches in the log are exactly the evidence
+// ingested since the last checkpoint, so internal/maint seeds its
+// accumulator from here: a crash never silently forgets evidence that
+// had not yet counted toward a rebuild trigger. Blocks until recovery
+// completes under Options.AsyncRecovery.
+func (e *Engine) TakeRecoveredBatches() []wal.Batch {
+	if e.dur == nil {
+		return nil
+	}
+	e.waitReady()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	b := e.dur.replayed
+	e.dur.replayed = nil
+	return b
+}
 
 // Checkpoint synchronously persists the currently served router as the
 // WAL directory's checkpoint (via the core artifact envelope, save

@@ -88,6 +88,7 @@ func (e *Engine) AttachStream(h http.Handler, src StreamSource) {
 //	GET  /debug/trace?n=50&slow=1&min_ms=5   recent / slow request traces
 //	GET  /debug/snapshot                 non-blocking internals snapshot
 //	GET  /debug/quality                  worst shadow-scored ODs (AttachQuality)
+//	GET  /debug/maint                    maintenance state (AttachMaintenance)
 //
 // Every endpoint's request body is bounded by Options.MaxBodyBytes;
 // larger bodies are rejected with 413. Every response carries an
@@ -113,6 +114,7 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("/debug/trace", traceHandler(e.trc))
 	mux.HandleFunc("/debug/snapshot", e.handleDebugSnapshot)
 	mux.HandleFunc("/debug/quality", e.handleQuality)
+	mux.HandleFunc("/debug/maint", e.handleMaint)
 	limit := e.opt.MaxBodyBytes
 	return withRequestTelemetry(e.trc, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !e.ready.Load() && !telemetryPath(r.URL.Path) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -137,6 +138,18 @@ type Stats struct {
 	// SinceLastSwap is the time since the last snapshot publication.
 	SinceLastSwap time.Duration `json:"since_last_swap_ns"`
 
+	// LastStalenessRatio is the out-of-region share of the last ingest
+	// batch's path vertices (region.UpdateStats.StalenessRatio);
+	// StalenessRatio the same share cumulated over every vertex ingested
+	// since start, with OutOfRegionVertices/IngestedVertices its
+	// numerator and denominator. High values mean the fixed region
+	// partition no longer covers the traffic — the signal the
+	// maintenance triggers and the rebuild-recommended flag read.
+	LastStalenessRatio  float64 `json:"last_staleness_ratio"`
+	StalenessRatio      float64 `json:"staleness_ratio"`
+	OutOfRegionVertices uint64  `json:"out_of_region_vertices"`
+	IngestedVertices    uint64  `json:"ingested_vertices"`
+
 	// Latency is the overall latency distribution; PerCategory breaks
 	// it down by the paper's query categories.
 	Latency     LatencyStats            `json:"latency"`
@@ -150,6 +163,11 @@ type Stats struct {
 	// scoring accuracy, preference drift, staleness gauges); nil when
 	// none is attached.
 	Quality *QualityStats `json:"quality,omitempty"`
+
+	// Maintenance reports the attached background maintainer (evidence
+	// accumulation, rebuild triggers and cycle outcomes); nil when none
+	// is attached.
+	Maintenance *MaintStats `json:"maintenance,omitempty"`
 
 	// Durability reports the write-ahead-log attachment (appends,
 	// checkpoints, recovery facts); nil on non-durable engines.
@@ -198,6 +216,16 @@ func (e *Engine) Stats() Stats {
 	if at := e.qual.Load(); at != nil && at.source != nil {
 		qs := at.source.QualityStats()
 		st.Quality = &qs
+	}
+	if at := e.maint.Load(); at != nil && at.source != nil {
+		ms := at.source.MaintStats()
+		st.Maintenance = &ms
+	}
+	st.LastStalenessRatio = math.Float64frombits(e.lastStaleness.Load())
+	st.OutOfRegionVertices = e.oorVertices.Load()
+	st.IngestedVertices = e.ingVertices.Load()
+	if st.IngestedVertices > 0 {
+		st.StalenessRatio = float64(st.OutOfRegionVertices) / float64(st.IngestedVertices)
 	}
 	if e.dur != nil {
 		ds := e.dur.stats()

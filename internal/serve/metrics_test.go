@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -42,6 +43,49 @@ func TestLatencyStatsEmpty(t *testing.T) {
 	ls := latencyStats(&h)
 	if ls.Queries != 0 || ls.P99 != 0 || ls.Mean != 0 {
 		t.Fatalf("empty histogram must report zeros, got %+v", ls)
+	}
+}
+
+// TestStalenessSurfaced: ingesting live trajectories must populate the
+// staleness gauges — region.UpdateStats.StalenessRatio for the last
+// batch, plus the cumulative vertex counters its engine-lifetime ratio
+// derives from — in Stats() and in the Prometheus catalog.
+func TestStalenessSurfaced(t *testing.T) {
+	base, fresh := sharedWorld(t)
+	e := NewEngine(base.IngestClone(), Options{})
+
+	st := e.Stats()
+	if st.IngestedVertices != 0 || st.StalenessRatio != 0 || st.LastStalenessRatio != 0 {
+		t.Fatalf("staleness gauges nonzero before any ingest: %+v", st)
+	}
+
+	var want int
+	for _, b := range matchedBatches(fresh[:12], 4) {
+		for _, tr := range b {
+			want += len(tr.Truth)
+		}
+		e.IngestMatched(b)
+	}
+
+	st = e.Stats()
+	if st.IngestedVertices != uint64(want) {
+		t.Fatalf("IngestedVertices = %d, want %d (sum of ingested path lengths)", st.IngestedVertices, want)
+	}
+	if st.LastStalenessRatio < 0 || st.LastStalenessRatio > 1 {
+		t.Fatalf("LastStalenessRatio = %v, want within [0, 1]", st.LastStalenessRatio)
+	}
+	wantRatio := float64(st.OutOfRegionVertices) / float64(st.IngestedVertices)
+	if st.StalenessRatio != wantRatio {
+		t.Fatalf("StalenessRatio = %v, want OutOfRegionVertices/IngestedVertices = %v", st.StalenessRatio, wantRatio)
+	}
+
+	var buf strings.Builder
+	e.writeProm(obs.NewPromWriter(&buf))
+	body := buf.String()
+	for _, name := range []string{"l2r_staleness_ratio", "l2r_last_staleness_ratio", "l2r_out_of_region_vertices_total", "l2r_ingested_vertices_total"} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("/metrics catalog missing %s", name)
+		}
 	}
 }
 

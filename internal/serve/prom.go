@@ -36,6 +36,10 @@ func (e *Engine) writeProm(pw *obs.PromWriter, labels ...obs.Label) {
 	pw.Counter("l2r_ingested_trajectories_total", "Trajectories carried by ingest swaps.", float64(st.IngestedTrajectories), labels...)
 	pw.Gauge("l2r_ingest_lag_seconds", "Wall time the last ingest took from batch arrival to snapshot publication.", st.IngestLag.Seconds(), labels...)
 	pw.Gauge("l2r_since_last_swap_seconds", "Time since the last snapshot publication.", st.SinceLastSwap.Seconds(), labels...)
+	pw.Gauge("l2r_staleness_ratio", "Cumulative out-of-region share of ingested path vertices — how far the fixed region partition trails the traffic.", st.StalenessRatio, labels...)
+	pw.Gauge("l2r_last_staleness_ratio", "Out-of-region vertex share of the last ingest batch.", st.LastStalenessRatio, labels...)
+	pw.Counter("l2r_out_of_region_vertices_total", "Ingested path vertices that belong to no region.", float64(st.OutOfRegionVertices), labels...)
+	pw.Counter("l2r_ingested_vertices_total", "Ingested path vertices.", float64(st.IngestedVertices), labels...)
 
 	pw.Histogram("l2r_route_latency_seconds", "Routing query latency.", &e.met.all, labels...)
 	for i := range e.met.perCat {
@@ -113,6 +117,20 @@ func (e *Engine) writeProm(pw *obs.PromWriter, labels ...obs.Label) {
 		pw.Gauge("l2r_drift_region_coverage", "Fraction of regions with any T-edge (trajectory-backed) evidence.", qs.RegionCoverage, labels...)
 		pw.Gauge("l2r_drift_evidence_age_seconds", "Time since the newest trajectory fold-in (0 before the first).", qs.EvidenceAge.Seconds(), labels...)
 		pw.Gauge("l2r_drift_cache_generation_lag", "Generations the oldest live route-cache entry trails the served snapshot.", float64(qs.CacheGenerationLag), labels...)
+	}
+
+	if st.Maintenance != nil {
+		ms := st.Maintenance
+		pw.Counter("l2r_maint_rebuilds_total", "Maintenance clone-rebuild-publish cycles completed.", float64(ms.Rebuilds), labels...)
+		pw.Counter("l2r_maint_rebuild_failures_total", "Maintenance rebuild cycles that failed and published nothing.", float64(ms.RebuildFailures), labels...)
+		pw.Gauge("l2r_maint_retained", "Matched trajectories held by the evidence accumulator.", float64(ms.Retained), labels...)
+		pw.Counter("l2r_maint_accumulated_total", "Matched trajectories offered to the evidence accumulator.", float64(ms.Accumulated), labels...)
+		pw.Counter("l2r_maint_evicted_total", "Trajectories the bounded accumulator displaced.", float64(ms.Evicted), labels...)
+		pw.Gauge("l2r_maint_evidence_since_rebuild", "Trajectories accumulated since the last rebuild — compared against the evidence trigger threshold.", float64(ms.EvidenceSinceRebuild), labels...)
+		pw.Gauge("l2r_maint_drift_tv", "Preference drift of the served snapshot against the maintainer's post-rebuild baseline — compared against the drift trigger threshold.", ms.DriftTV, labels...)
+		pw.Gauge("l2r_maint_last_rebuild_seconds", "Duration of the most recent maintenance rebuild (0 before the first).", ms.LastRebuildTime.Seconds(), labels...)
+		pw.Gauge("l2r_maint_last_tedges_added", "Region pairs that gained their first trajectory-backed edge in the most recent rebuild.", float64(ms.LastTEdgesAdded), labels...)
+		pw.Gauge("l2r_maint_last_transferred", "B-edges the most recent rebuild's transduction labeled.", float64(ms.LastTransferred), labels...)
 	}
 
 	if e.trc != nil {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -155,11 +156,13 @@ type Engine struct {
 
 	// stream holds the optional streaming-ingestion attachment (HTTP
 	// front-end + stats source); qual the optional model-quality
-	// observer (shadow scorer + drift gauges, internal/quality);
-	// trajSeq hands out engine-unique trajectory IDs to every
-	// ingestion path.
+	// observer (shadow scorer + drift gauges, internal/quality); maint
+	// the optional background maintainer (evidence accumulator +
+	// rebuild triggers, internal/maint); trajSeq hands out
+	// engine-unique trajectory IDs to every ingestion path.
 	stream  atomic.Pointer[streamAttachment]
 	qual    atomic.Pointer[qualityAttachment]
+	maint   atomic.Pointer[maintAttachment]
 	trajSeq atomic.Uint64
 
 	// dur is the optional durability attachment (write-ahead log +
@@ -177,11 +180,14 @@ type Engine struct {
 	start           time.Time
 	ingests         atomic.Uint64
 	ingestedTrajs   atomic.Uint64
-	lastIngestUnix  atomic.Int64 // unix nanos of the last trajectory fold-in
-	lastIngestNs    atomic.Int64 // wall time of the last copy-on-write ingest
-	lastSwapUnix    atomic.Int64 // unix nanos of the last snapshot swap
-	lastCustomizeNs atomic.Int64 // CH re-customization time within the last ingest
-	lastSwapNs      atomic.Int64 // clone+customize+publish (serving swap) time
+	lastStaleness   atomic.Uint64 // Float64bits of the last batch's staleness ratio
+	oorVertices     atomic.Uint64 // cumulative out-of-region vertices ingested
+	ingVertices     atomic.Uint64 // cumulative path vertices ingested
+	lastIngestUnix  atomic.Int64  // unix nanos of the last trajectory fold-in
+	lastIngestNs    atomic.Int64  // wall time of the last copy-on-write ingest
+	lastSwapUnix    atomic.Int64  // unix nanos of the last snapshot swap
+	lastCustomizeNs atomic.Int64  // CH re-customization time within the last ingest
+	lastSwapNs      atomic.Int64  // clone+customize+publish (serving swap) time
 }
 
 // NewEngine wraps a built router for serving. The engine takes
@@ -403,12 +409,23 @@ func (e *Engine) ingestDurable(ctx context.Context, ts []*traj.Trajectory, opt c
 	e.lastIngestUnix.Store(time.Now().UnixNano())
 	e.ingests.Add(1)
 	e.ingestedTrajs.Add(uint64(len(ts)))
+	// Staleness gauges: how much of the new traffic fell outside the
+	// fixed region partition — the maintenance trigger and the
+	// rebuild-recommended signal both read from here.
+	e.lastStaleness.Store(math.Float64bits(st.StalenessRatio()))
+	e.oorVertices.Add(uint64(st.OutOfRegionVertices))
+	e.ingVertices.Add(uint64(st.TotalVertices))
 	if q := e.qual.Load(); q != nil && q.source != nil {
 		// Offer the applied batch for shadow scoring. The contract is
 		// non-blocking (sample, copy, enqueue-or-drop), so holding
 		// writeMu here is fine and every ingest path — HTTP /ingest,
 		// stream flushes, library calls — funnels through one hook.
 		q.source.OfferTrajectories(ts)
+	}
+	if m := e.maint.Load(); m != nil && m.source != nil {
+		// Same non-blocking contract: the maintainer copies what it
+		// retains and counts the rest.
+		m.source.OfferTrajectories(ts)
 	}
 	if e.dur != nil && durable && e.dur.shouldCheckpoint() {
 		ck := sp.Start("wal.checkpoint")
@@ -462,25 +479,49 @@ func (e *Engine) Publish(r *core.Router) {
 	e.waitReady()
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
+	e.publishLocked(r, true)
+}
+
+// publishLocked swaps r in as the next generation and notifies the
+// attached observers; writeMu held. external marks routers built
+// outside this engine's serving lineage (Publish): they may sit on a
+// different road network, so the WAL identity is rebound and the
+// checkpoint generation resets to the artifact's own. Maintenance
+// rebuilds (RebuildSnapshot) derive from the serving snapshot — same
+// road, same checkpoint lineage — so they skip both and the checkpoint
+// generation keeps advancing monotonically.
+func (e *Engine) publishLocked(r *core.Router, external bool) uint64 {
 	cur := e.snap.Load()
-	e.snap.Store(newSnapshot(r, cur.gen+1))
+	gen := cur.gen + 1
+	e.snap.Store(newSnapshot(r, gen))
 	e.lastSwapUnix.Store(time.Now().UnixNano())
 	if q := e.qual.Load(); q != nil && q.source != nil {
 		// The drift baseline the observer captured describes the model
 		// this publish just replaced; let it rebase on r.
 		q.source.Published(r)
 	}
+	if m := e.maint.Load(); m != nil && m.source != nil {
+		m.source.Published(r)
+	}
 	if e.dur != nil {
-		// The published router may sit on a different road network
-		// than the one the log was bound to (an artifact swap to a new
-		// world); rebind so the checkpoint and the rotated log header
-		// carry the identity recovery will verify against.
-		if id, err := wal.IdentityOf(r.Road()); err == nil {
-			e.dur.log.Rebind(id)
-		} else {
-			e.dur.checkpointFailures.Add(1)
+		if external {
+			// The published router may sit on a different road network
+			// than the one the log was bound to (an artifact swap to a
+			// new world); rebind so the checkpoint and the rotated log
+			// header carry the identity recovery will verify against,
+			// and continue the artifact's own save lineage.
+			if id, err := wal.IdentityOf(r.Road()); err == nil {
+				e.dur.log.Rebind(id)
+			} else {
+				e.dur.checkpointFailures.Add(1)
+			}
+			e.dur.ckptGen.Store(r.Meta().Generation)
 		}
-		e.dur.ckptGen.Store(r.Meta().Generation)
+		// Fold the published router into a fresh checkpoint and rotate
+		// the log: the WAL tail predates it, and a restart must recover
+		// the published state plus whatever is ingested after — never
+		// stale pre-publish batches replayed onto a post-publish base.
 		e.dur.checkpointLocked(r, e.trajSeq.Load())
 	}
+	return gen
 }

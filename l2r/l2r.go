@@ -26,6 +26,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/maint"
 	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/roadnet"
@@ -379,4 +380,37 @@ func AttachQuality(e *Engine, cfg QualityConfig) *QualityObserver { return quali
 // future tenant of a fleet (GET /t/{tenant}/debug/quality).
 func AttachFleetQuality(f *Fleet, cfg QualityConfig) *FleetQuality {
 	return quality.AttachFleet(f, cfg)
+}
+
+// Background-maintenance re-exports. A maintainer accumulates the
+// evidence an engine ingests, watches rebuild triggers (preference
+// drift, evidence volume, a timer), and when one fires re-runs
+// preference learning, transduction and B-edge materialization on a
+// copy-on-write clone off the hot path, publishing the rebuilt model
+// through the engine's snapshot swap. See internal/maint.
+type (
+	// MaintConfig tunes a maintainer (accumulator capacity, trigger
+	// thresholds, check cadence, pipeline options).
+	MaintConfig = maint.Config
+	// Maintainer is one engine's background maintenance pipeline;
+	// Close at shutdown.
+	Maintainer = maint.Maintainer
+	// FleetMaint tracks the per-tenant maintainers AttachFleetMaint
+	// creates.
+	FleetMaint = maint.FleetMaintainers
+	// MaintStats is the maintainer health block in Stats().Maintenance,
+	// /stats and /debug/maint.
+	MaintStats = serve.MaintStats
+)
+
+// AttachMaint wires a background maintainer into an engine: evidence
+// accumulation and rebuild cycles feed Stats().Maintenance, /metrics
+// (l2r_maint_*) and GET /debug/maint. Call Close on the result at
+// shutdown.
+func AttachMaint(e *Engine, cfg MaintConfig) *Maintainer { return maint.Attach(e, cfg) }
+
+// AttachFleetMaint attaches a maintainer to every current and future
+// tenant of a fleet (GET /t/{tenant}/debug/maint).
+func AttachFleetMaint(f *Fleet, cfg MaintConfig) *FleetMaint {
+	return maint.AttachFleet(f, cfg)
 }

@@ -31,8 +31,9 @@ Exit status 1 on any regression, 2 on malformed input.
 import json
 import sys
 
-# Last-sample measurements: one ingest's cost, not a distribution.
-INFORMATIONAL = {"customize_ns", "swap_ns"}
+# Last-sample measurements: one ingest's (or one maintenance
+# rebuild's) cost, not a distribution.
+INFORMATIONAL = {"customize_ns", "swap_ns", "maint_rebuild_ns"}
 
 # (metric, floor): baselines below the floor are too small to gate.
 NS_FLOOR = 1000.0      # 1 us: sub-microsecond timings are scheduler noise
